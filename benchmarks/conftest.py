@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures as printed
+rows/series (the paper's absolute numbers come from an RTX 3060 + ImageNet;
+here the substrate is the numpy simulator + synthetic dataset, so the *shape*
+of each result is the reproduction target — see EXPERIMENTS.md).
+
+Trained model weights are cached under ``REPRO_CACHE_DIR`` (default
+``~/.cache/repro_goldeneye``), so only the first benchmark run pays for
+training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticImageNet, get_pretrained
+
+#: the standard experiment dataset (the "ImageNet validation set" stand-in)
+DATASET_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return SyntheticImageNet(num_classes=10, num_samples=800, image_size=32,
+                             seed=DATASET_SEED)
+
+
+@pytest.fixture(scope="session")
+def resnet(dataset):
+    """The CNN under study (scaled ResNet18 analogue), trained and cached."""
+    model, val = get_pretrained("resnet18", dataset, epochs=3, seed=0)
+    return model, val
+
+
+@pytest.fixture(scope="session")
+def resnet50_model(dataset):
+    """The deeper CNN (scaled ResNet50 analogue) used by Fig. 7/9."""
+    model, val = get_pretrained("resnet50", dataset, epochs=3, seed=0)
+    return model, val
+
+
+@pytest.fixture(scope="session")
+def deit(dataset):
+    """The transformer under study (scaled DeiT analogue), trained and cached."""
+    model, val = get_pretrained("deit_tiny", dataset, epochs=8, seed=0)
+    return model, val
+
+
+@pytest.fixture(scope="session")
+def batch(resnet):
+    """A fixed batch of 32 validation images (the paper's flat batch size)."""
+    _, (images, labels) = resnet
+    return images[:32], labels[:32]
+
+
+def print_block(text: str) -> None:
+    """Print a report block, visibly separated in pytest output."""
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)

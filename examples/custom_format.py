@@ -1,0 +1,105 @@
+"""Extending GoldenEye with a brand-new number system (Table II's last row).
+
+The paper's API contract: implement the four pure-virtual methods of
+``NumberFormat`` and the platform handles hooks, metadata, and injection for
+free.  Here we add a **logarithmic number system (LNS)** — values stored as a
+sign plus a fixed-point base-2 logarithm, a format studied for multiplier-free
+DNN inference — and immediately get accuracy evaluation and fault injection.
+
+Run:  python examples/custom_format.py
+"""
+
+import numpy as np
+
+from repro.core import GoldenEye, ValueInjection, delta_loss
+from repro.core.campaign import golden_inference
+from repro.core.dse import evaluate_format_accuracy
+from repro.data import SyntheticImageNet, get_pretrained
+from repro.formats import NumberFormat, register_format
+from repro.formats.bitstring import (
+    int_to_twos_complement,
+    twos_complement_to_int,
+    validate_bits,
+)
+
+
+class LogarithmicFormat(NumberFormat):
+    """Sign + fixed-point log2 magnitude: x ~ (-1)^s * 2^(k / 2^frac_bits)."""
+
+    kind = "lns"
+    has_metadata = False
+
+    def __init__(self, int_bits: int = 5, frac_bits: int = 2):
+        super().__init__(bit_width=1 + int_bits + frac_bits, radix=frac_bits)
+        self.int_bits = int_bits
+        self.frac_bits = frac_bits
+        self.step = 2.0 ** -frac_bits
+        magnitude_bits = int_bits + frac_bits
+        self.max_code = (1 << magnitude_bits) - 1
+        self.min_code = -(1 << magnitude_bits)
+
+    def config(self) -> dict:
+        return {"int_bits": self.int_bits, "frac_bits": self.frac_bits}
+
+    @property
+    def name(self) -> str:
+        return f"lns(1,{self.int_bits},{self.frac_bits})"
+
+    # -- the four pure-virtual methods --------------------------------------
+    def real_to_format_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        x = np.asarray(tensor, dtype=np.float32).astype(np.float64)
+        magnitude = np.abs(x)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            codes = np.round(np.log2(magnitude) / self.step)
+        codes = np.nan_to_num(codes, nan=self.min_code,
+                              posinf=self.max_code, neginf=self.min_code)
+        codes = np.clip(codes, self.min_code, self.max_code)
+        quantized = np.exp2(codes * self.step)
+        quantized[magnitude == 0.0] = 0.0
+        # min_code doubles as the "zero" encoding (true log of 0 is -inf)
+        quantized[codes == self.min_code] = 0.0
+        return (np.sign(x) * quantized).astype(np.float32)
+
+    def real_to_format(self, value: float):
+        value = float(value)
+        sign = 1 if value < 0 else 0
+        magnitude = abs(value)
+        if magnitude == 0.0:
+            code = self.min_code
+        else:
+            code = int(np.clip(np.round(np.log2(magnitude) / self.step),
+                               self.min_code, self.max_code))
+        return [sign] + int_to_twos_complement(code, self.bit_width - 1)
+
+    def format_to_real(self, bits) -> float:
+        validate_bits(bits, self.bit_width)
+        sign = -1.0 if bits[0] else 1.0
+        code = twos_complement_to_int(bits[1:])
+        if code == self.min_code:
+            return sign * 0.0
+        return float(sign * 2.0 ** (code * self.step))
+
+
+def main():
+    register_format("lns8", lambda: LogarithmicFormat(5, 2))
+
+    dataset = SyntheticImageNet(num_classes=10, num_samples=400, seed=0)
+    model, (images, labels) = get_pretrained("simple_cnn", dataset, epochs=4)
+
+    print("accuracy under the custom logarithmic format vs references:")
+    for spec in ("fp32", "fp8", "lns8"):
+        accuracy = evaluate_format_accuracy(model, images, labels, spec)
+        print(f"  {spec:6s} {accuracy:.3f}")
+
+    # fault injection works immediately: the platform only needs the API
+    with GoldenEye(model, "lns8") as platform:
+        golden = golden_inference(platform, images[:32], labels[:32])
+        plan = ValueInjection("fc", "neuron", 0, bits=(1,))  # log-magnitude MSB
+        with platform.injector.armed(plan):
+            faulty = golden_inference(platform, images[:32], labels[:32])
+    print(f"\nΔLoss of a log-magnitude MSB flip under lns8: "
+          f"{delta_loss(golden.logits, faulty.logits, labels[:32]):.4f}")
+
+
+if __name__ == "__main__":
+    main()

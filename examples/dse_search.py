@@ -1,0 +1,52 @@
+"""Use case 2 (§IV-B): design-space exploration for number-format selection.
+
+Runs the paper's recursive binary-tree heuristic over each format family for
+a trained model: phase 1 walks the bitwidth tree, phase 2 the radix tree,
+taking the "shorter" branch whenever the accuracy stays within the threshold
+of the FP32 baseline.  Prints the Fig. 6-style node trace (visit order on the
+x-axis) and the suggested format per family.
+
+Run:  python examples/dse_search.py [model-name]
+"""
+
+import sys
+
+from repro.analysis import render_table
+from repro.core import binary_tree_search
+from repro.data import SyntheticImageNet, get_pretrained
+
+
+def main(model_name: str = "resnet18"):
+    dataset = SyntheticImageNet(num_classes=10, num_samples=800, seed=0)
+    print(f"preparing {model_name} (cached after the first run)...")
+    epochs = 8 if model_name.startswith("deit") else 3
+    model, (images, labels) = get_pretrained(model_name, dataset, epochs=epochs)
+    images, labels = images[:128], labels[:128]
+
+    summary_rows = []
+    for family in ("fp", "fxp", "int", "bfp", "afp"):
+        result = binary_tree_search(model, images, labels, family=family,
+                                    threshold=0.02)
+        print(f"\n=== family {family} "
+              f"(baseline {result.baseline_accuracy:.3f}, "
+              f"threshold -{result.threshold:.0%}) ===")
+        print(render_table(
+            ["node", "phase", "format", "bits", "radix", "accuracy", "ok"],
+            [(n.index, n.phase, n.format.name, n.bitwidth, n.radix,
+              f"{n.accuracy:.3f}", "*" if n.acceptable else "")
+             for n in result.nodes]))
+        best = result.best
+        summary_rows.append((
+            family,
+            result.nodes_visited,
+            best.format.name if best else "(none acceptable)",
+            f"{best.accuracy:.3f}" if best else "-",
+        ))
+
+    print()
+    print(render_table(["family", "nodes visited", "suggested format", "accuracy"],
+                       summary_rows, title=f"DSE summary for {model_name}"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "resnet18")

@@ -1,0 +1,49 @@
+"""``repro.analysis`` — resilience aggregation, tradeoff studies, reporting."""
+
+from .adversarial import (
+    AttackResult,
+    attack_success_by_format,
+    attack_table,
+    fgsm_attack,
+    pgd_attack,
+)
+from .confidence import ConfidenceBin, ConfidenceStudy, confidence_stratified_sdc
+from .cost import LayerCost, cost_table, count_macs, mac_cost, model_cost
+from .mixed import (
+    LayerSensitivity,
+    MixedPrecisionResult,
+    assign_mixed_precision,
+    profile_layer_sensitivity,
+)
+from .resilience import ResilienceProfile, layer_vulnerability_table, profile_resilience
+from .tables import format_float, render_series, render_table
+from .tradeoff import TradeoffPoint, TradeoffStudy, explore_tradeoff
+
+__all__ = [
+    "LayerCost",
+    "count_macs",
+    "mac_cost",
+    "model_cost",
+    "cost_table",
+    "AttackResult",
+    "fgsm_attack",
+    "pgd_attack",
+    "attack_success_by_format",
+    "attack_table",
+    "ConfidenceBin",
+    "ConfidenceStudy",
+    "confidence_stratified_sdc",
+    "LayerSensitivity",
+    "MixedPrecisionResult",
+    "assign_mixed_precision",
+    "profile_layer_sensitivity",
+    "ResilienceProfile",
+    "profile_resilience",
+    "layer_vulnerability_table",
+    "TradeoffPoint",
+    "TradeoffStudy",
+    "explore_tradeoff",
+    "render_table",
+    "render_series",
+    "format_float",
+]

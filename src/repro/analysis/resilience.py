@@ -1,0 +1,130 @@
+"""Per-layer resilience aggregation (the analysis behind Fig. 7).
+
+Wraps the campaign runner with the paper's §IV-C procedure: for a model and a
+format, run value- and metadata-injection campaigns at layer granularity and
+assemble the per-layer ΔLoss profile, plus the single-value network summary
+(ΔLoss averaged across layers) used by the §V-A tuning discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.campaign import CampaignResult, run_campaign
+from ..core.goldeneye import GoldenEye
+from ..nn.module import Module
+from .tables import render_table
+
+__all__ = ["ResilienceProfile", "profile_resilience", "layer_vulnerability_table"]
+
+
+@dataclass
+class ResilienceProfile:
+    """Value- and metadata-injection results for one (model, format) pair."""
+
+    model_name: str
+    format_name: str
+    value_campaign: CampaignResult
+    metadata_campaign: CampaignResult | None
+
+    @property
+    def layers(self) -> list[str]:
+        return list(self.value_campaign.per_layer)
+
+    def value_delta_losses(self) -> list[float]:
+        return [r.mean_delta_loss for r in self.value_campaign.per_layer.values()]
+
+    def metadata_delta_losses(self) -> list[float]:
+        if self.metadata_campaign is None:
+            return []
+        return [r.mean_delta_loss for r in self.metadata_campaign.per_layer.values()]
+
+    def network_value_delta_loss(self) -> float:
+        """ΔLoss averaged across all layers (the §V-A summary scalar)."""
+        losses = self.value_delta_losses()
+        return float(np.mean(losses)) if losses else 0.0
+
+    def network_metadata_delta_loss(self) -> float:
+        losses = self.metadata_delta_losses()
+        return float(np.mean(losses)) if losses else 0.0
+
+    def combined_delta_loss(self) -> float:
+        """Average of value and metadata resilience (Fig. 9's y-axis)."""
+        parts = [self.network_value_delta_loss()]
+        if self.metadata_campaign is not None:
+            parts.append(self.network_metadata_delta_loss())
+        return float(np.mean(parts))
+
+
+def profile_resilience(
+    model: Module,
+    model_name: str,
+    format_spec,
+    images: np.ndarray,
+    labels: np.ndarray,
+    injections_per_layer: int = 100,
+    location: str = "neuron",
+    seed: int = 0,
+    detector=None,
+    use_range_detector: bool = False,
+    targets=("conv", "linear"),
+) -> ResilienceProfile:
+    """Run the paper's per-layer value + metadata campaigns for one format.
+
+    ``use_range_detector=True`` reproduces the paper's default setting
+    (§V-B: the detector is enabled by default for resiliency analysis): a
+    :class:`~repro.core.detector.RangeDetector` is profiled on a clean pass
+    over the evaluation batch and then clamps every instrumented layer, so
+    metadata blow-ups are bounded by each layer's observed activation range.
+    """
+    if use_range_detector and detector is None:
+        from ..core.detector import RangeDetector
+
+        detector = RangeDetector()
+    platform = GoldenEye(model, format_spec, targets=targets, range_detector=detector)
+    with platform:
+        if use_range_detector:
+            from ..core.campaign import golden_inference
+
+            detector.active = False
+            golden_inference(platform, images, labels)  # profiling pass
+            detector.active = True
+        value_campaign = run_campaign(
+            platform, images, labels, kind="value", location=location,
+            injections_per_layer=injections_per_layer, seed=seed,
+        )
+        fmt = platform.spawn_format()
+        metadata_campaign = None
+        if fmt is not None and fmt.has_metadata:
+            metadata_campaign = run_campaign(
+                platform, images, labels, kind="metadata", location=location,
+                injections_per_layer=injections_per_layer, seed=seed + 1,
+            )
+    return ResilienceProfile(
+        model_name=model_name,
+        format_name=value_campaign.format_name,
+        value_campaign=value_campaign,
+        metadata_campaign=metadata_campaign,
+    )
+
+
+def layer_vulnerability_table(profile: ResilienceProfile) -> str:
+    """Fig. 7-style per-layer table: ΔLoss under value vs metadata flips."""
+    meta = profile.metadata_campaign.per_layer if profile.metadata_campaign else {}
+    rows = []
+    for layer, value_result in profile.value_campaign.per_layer.items():
+        meta_result = meta.get(layer)
+        rows.append((
+            layer,
+            f"{value_result.mean_delta_loss:.4f}",
+            f"{meta_result.mean_delta_loss:.4f}" if meta_result else "n/a",
+            f"{value_result.mismatch_rate:.3f}",
+            f"{meta_result.mismatch_rate:.3f}" if meta_result else "n/a",
+        ))
+    return render_table(
+        ["layer", "ΔLoss (value)", "ΔLoss (metadata)", "mismatch (value)", "mismatch (metadata)"],
+        rows,
+        title=f"{profile.model_name} under {profile.format_name} ({profile.value_campaign.location})",
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table and series rendering used by the benchmark harnesses.
+
+The benchmarks regenerate the paper's tables and figures as text: tables
+render with aligned columns, figures render as labelled data series (the same
+rows/series the paper plots).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_series", "format_float"]
+
+
+def format_float(value: float, precision: int = 4) -> str:
+    """Compact float formatting: scientific for extreme magnitudes."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 10 ** -precision:
+        return f"{value:.{max(precision - 2, 2)}e}"
+    return f"{value:.{precision}g}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Iterable[tuple], x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    lines = [f"series: {name} [{x_label} -> {y_label}]"]
+    for x, y in points:
+        y_text = format_float(y) if isinstance(y, float) else str(y)
+        lines.append(f"  {x}: {y_text}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Accuracy / resilience / bitwidth tradeoff exploration (Fig. 9, §V-A).
+
+Combines the DSE heuristic (use case 2) with resilience campaigns (use case
+3): for each accuracy-acceptable design point the heuristic suggests, measure
+the network-average ΔLoss under value and metadata injections, yielding the
+scatter of (bitwidth, accuracy, ΔLoss) points from which an accelerator
+designer picks the format that fits their budget — the paper's top-left
+corner being low-precision, high-accuracy, low-ΔLoss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dse import DseResult, binary_tree_search
+from ..nn.module import Module
+from .resilience import profile_resilience
+from .tables import render_table
+
+__all__ = ["TradeoffPoint", "TradeoffStudy", "explore_tradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One design point of the Fig. 9 scatter."""
+
+    format_name: str
+    family: str
+    bitwidth: int
+    accuracy: float
+    value_delta_loss: float
+    metadata_delta_loss: float
+
+    @property
+    def combined_delta_loss(self) -> float:
+        return float(np.mean([self.value_delta_loss, self.metadata_delta_loss]))
+
+
+@dataclass
+class TradeoffStudy:
+    """All evaluated points plus the DSE traces that produced them."""
+
+    model_name: str
+    baseline_accuracy: float
+    points: list[TradeoffPoint]
+    dse_results: dict[str, DseResult]
+
+    def pareto_front(self) -> list[TradeoffPoint]:
+        """Points not dominated in (bitwidth, -accuracy, combined ΔLoss)."""
+        front = []
+        for p in self.points:
+            dominated = any(
+                q is not p
+                and q.bitwidth <= p.bitwidth
+                and q.accuracy >= p.accuracy
+                and q.combined_delta_loss <= p.combined_delta_loss
+                and (q.bitwidth, -q.accuracy, q.combined_delta_loss)
+                != (p.bitwidth, -p.accuracy, p.combined_delta_loss)
+                for q in self.points
+            )
+            if not dominated:
+                front.append(p)
+        return front
+
+    def table(self) -> str:
+        rows = [
+            (p.format_name, p.bitwidth, f"{p.accuracy:.3f}",
+             f"{p.value_delta_loss:.4f}", f"{p.metadata_delta_loss:.4f}",
+             f"{p.combined_delta_loss:.4f}")
+            for p in sorted(self.points, key=lambda p: (p.bitwidth, -p.accuracy))
+        ]
+        return render_table(
+            ["format", "bits", "accuracy", "ΔLoss value", "ΔLoss metadata", "ΔLoss avg"],
+            rows,
+            title=f"{self.model_name} accuracy/resilience/bitwidth tradeoff "
+                  f"(baseline accuracy {self.baseline_accuracy:.3f})",
+        )
+
+
+def explore_tradeoff(
+    model: Module,
+    model_name: str,
+    images: np.ndarray,
+    labels: np.ndarray,
+    families: tuple[str, ...] = ("bfp", "afp"),
+    threshold: float = 0.01,
+    injections_per_layer: int = 50,
+    max_points_per_family: int = 4,
+    campaign_samples: int = 32,
+    seed: int = 0,
+) -> TradeoffStudy:
+    """Run DSE per family, then campaigns on the acceptable design points."""
+    points: list[TradeoffPoint] = []
+    dse_results: dict[str, DseResult] = {}
+    baseline = None
+    for family in families:
+        dse = binary_tree_search(model, images, labels, family=family,
+                                 threshold=threshold, baseline_accuracy=baseline)
+        baseline = dse.baseline_accuracy  # reuse the profiling pass
+        dse_results[family] = dse
+        # dedupe acceptable nodes by format config, cheapest first
+        chosen: dict = {}
+        for node in sorted(dse.acceptable_nodes, key=lambda n: (n.bitwidth, n.radix)):
+            chosen.setdefault(node.format.config().__repr__(), node)
+        for node in list(chosen.values())[:max_points_per_family]:
+            profile = profile_resilience(
+                model, model_name, node.format,
+                images[:campaign_samples], labels[:campaign_samples],
+                injections_per_layer=injections_per_layer, seed=seed,
+            )
+            points.append(TradeoffPoint(
+                format_name=node.format.name,
+                family=family,
+                bitwidth=node.bitwidth,
+                accuracy=node.accuracy,
+                value_delta_loss=profile.network_value_delta_loss(),
+                metadata_delta_loss=profile.network_metadata_delta_loss(),
+            ))
+    return TradeoffStudy(
+        model_name=model_name,
+        baseline_accuracy=baseline if baseline is not None else 0.0,
+        points=points,
+        dse_results=dse_results,
+    )

@@ -1,0 +1,264 @@
+"""Command-line interface for GoldenEye experiments.
+
+The paper exposes "a set of command line arguments for hyperparameter tuning"
+(§IV-B) that its DSE wrapper scripts drive.  This module provides the same
+surface over the reproduction:
+
+    python -m repro accuracy --model resnet18 --format fp_e4m3
+    python -m repro sweep    --model deit_tiny --families fp,afp --bits 16,8,4
+    python -m repro dse      --model resnet18 --family bfp --threshold 0.01
+    python -m repro campaign --model resnet18 --format bfp_e5m5_b16 \
+                             --kind metadata --injections 100
+    python -m repro ranges
+    python -m repro sites
+
+Every command trains (or loads from cache) the requested model on the
+deterministic synthetic dataset, so runs are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .analysis import layer_vulnerability_table, profile_resilience, render_table
+from .core import binary_tree_search, injection_sites
+from .core.dse import FAMILY_BUILDERS, evaluate_format_accuracy
+from .data import SyntheticImageNet, get_pretrained
+from .formats import available_formats, dynamic_range, make_format
+from .models import available_models
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(args) -> tuple:
+    dataset = SyntheticImageNet(num_classes=args.classes,
+                                num_samples=args.samples, seed=args.data_seed)
+    epochs = args.epochs if args.epochs is not None else (
+        8 if args.model.startswith("deit") else 3)
+    model, (images, labels) = get_pretrained(args.model, dataset, epochs=epochs,
+                                             seed=args.seed)
+    if args.eval_samples:
+        images, labels = images[: args.eval_samples], labels[: args.eval_samples]
+    return model, images, labels
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="resnet18", choices=available_models(),
+                        help="model to evaluate (trained on the synthetic dataset)")
+    parser.add_argument("--classes", type=int, default=10, help="dataset classes")
+    parser.add_argument("--samples", type=int, default=800, help="dataset size")
+    parser.add_argument("--eval-samples", type=int, default=128,
+                        help="validation samples used for evaluation (0 = all)")
+    parser.add_argument("--data-seed", type=int, default=0, help="dataset seed")
+    parser.add_argument("--seed", type=int, default=0, help="model/train seed")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="training epochs (default: per-architecture)")
+
+
+def cmd_accuracy(args) -> int:
+    model, images, labels = _load(args)
+    rows = []
+    for spec in args.format:
+        accuracy = evaluate_format_accuracy(model, images, labels, spec,
+                                            targets=tuple(args.targets.split(",")))
+        rows.append((spec, f"{accuracy:.4f}"))
+    print(render_table(["format", "top-1 accuracy"], rows,
+                       title=f"{args.model} accuracy under emulation"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    model, images, labels = _load(args)
+    families = args.families.split(",")
+    bits = [int(b) for b in args.bits.split(",")]
+    rows = []
+    for family in families:
+        if family not in FAMILY_BUILDERS:
+            print(f"unknown family {family!r}; known: {', '.join(FAMILY_BUILDERS)}",
+                  file=sys.stderr)
+            return 2
+        accs = []
+        for b in bits:
+            fmt = FAMILY_BUILDERS[family](b, None)
+            accs.append(evaluate_format_accuracy(model, images, labels, fmt))
+        rows.append((family, *(f"{a:.4f}" for a in accs)))
+    print(render_table(["family", *(f"{b}b" for b in bits)], rows,
+                       title=f"{args.model} accuracy vs bitwidth"))
+    return 0
+
+
+def cmd_dse(args) -> int:
+    model, images, labels = _load(args)
+    result = binary_tree_search(model, images, labels, family=args.family,
+                                threshold=args.threshold)
+    print(render_table(
+        ["node", "phase", "format", "accuracy", "acceptable"],
+        [(n.index, n.phase, n.format.name, f"{n.accuracy:.4f}",
+          "yes" if n.acceptable else "no") for n in result.nodes],
+        title=(f"DSE for {args.model} / {args.family} "
+               f"(baseline {result.baseline_accuracy:.4f}, "
+               f"threshold -{result.threshold:.0%})")))
+    best = result.best
+    if best is None:
+        print("no acceptable design point found")
+        return 1
+    print(f"suggested format: {best.format.name} (accuracy {best.accuracy:.4f})")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    model, images, labels = _load(args)
+    fmt = make_format(args.format)
+    profile = profile_resilience(
+        model, args.model, fmt, images[: args.batch], labels[: args.batch],
+        injections_per_layer=args.injections, location=args.location,
+        seed=args.seed)
+    if args.kind == "value" or profile.metadata_campaign is None:
+        campaign = profile.value_campaign
+    else:
+        campaign = profile.metadata_campaign
+    print(layer_vulnerability_table(profile))
+    print(f"\nnetwork mean ΔLoss ({args.kind}): "
+          f"{np.mean([r.mean_delta_loss for r in campaign.per_layer.values()]):.4f}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .analysis import attack_success_by_format, attack_table
+
+    model, images, labels = _load(args)
+    results = attack_success_by_format(
+        model, images, labels, epsilon=args.epsilon, attack=args.attack,
+        formats=tuple(args.format))
+    print(attack_table(results, args.attack, args.epsilon))
+    return 0
+
+
+def cmd_cost(args) -> int:
+    from .analysis import cost_table, model_cost
+
+    dataset = SyntheticImageNet(num_classes=args.classes,
+                                num_samples=args.samples, seed=args.data_seed)
+    from .models import create_model
+    import inspect as _inspect
+    from .models.registry import MODEL_REGISTRY
+    kwargs = dict(num_classes=dataset.num_classes, seed=args.seed)
+    if "image_size" in _inspect.signature(MODEL_REGISTRY[args.model]).parameters:
+        kwargs["image_size"] = dataset.image_size
+    model = create_model(args.model, **kwargs)
+    shape = (dataset.channels, dataset.image_size, dataset.image_size)
+    costs = model_cost(model, shape, args.format)
+    print(cost_table(costs, title=f"{args.model} relative MAC cost under {args.format}"))
+    return 0
+
+
+def cmd_mixed(args) -> int:
+    from .analysis import assign_mixed_precision
+
+    model, images, labels = _load(args)
+    result = assign_mixed_precision(model, images, labels, cheap=args.cheap,
+                                    expensive=args.expensive,
+                                    threshold=args.threshold)
+    print(result.table())
+    return 0
+
+
+def cmd_ranges(args) -> int:
+    rows = []
+    for name in args.format or available_formats():
+        r = dynamic_range(make_format(name))
+        rows.append(r.row())
+    print(render_table(
+        ["format", "abs max", "abs min (positive)", "range (dB)"], rows,
+        title="Dynamic range of data types (Table I)"))
+    return 0
+
+
+def cmd_sites(args) -> int:
+    rows = [(s.name, s.kind, s.format_spec, s.description)
+            for s in injection_sites(args.kind)]
+    print(render_table(["site", "kind", "example format", "what one flipped bit means"],
+                       rows, title="Single-bit injection sites"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GoldenEye reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("accuracy", help="accuracy under one or more formats")
+    _add_model_args(p)
+    p.add_argument("--format", nargs="+", default=["fp32", "fp16", "int8"],
+                   help="format specs to evaluate")
+    p.add_argument("--targets", default="conv,linear",
+                   help="comma-separated layer kinds to emulate")
+    p.set_defaults(func=cmd_accuracy)
+
+    p = sub.add_parser("sweep", help="accuracy vs bitwidth sweep (Fig. 4)")
+    _add_model_args(p)
+    p.add_argument("--families", default="fp,fxp,int,bfp,afp")
+    p.add_argument("--bits", default="32,16,12,8,4")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("dse", help="binary-tree format search (Fig. 5/6)")
+    _add_model_args(p)
+    p.add_argument("--family", default="fp", choices=sorted(FAMILY_BUILDERS))
+    p.add_argument("--threshold", type=float, default=0.01,
+                   help="acceptable accuracy loss vs baseline (fraction)")
+    p.set_defaults(func=cmd_dse)
+
+    p = sub.add_parser("campaign", help="per-layer injection campaign (Fig. 7)")
+    _add_model_args(p)
+    p.add_argument("--format", default="bfp_e5m5_b16")
+    p.add_argument("--kind", default="value", choices=["value", "metadata"])
+    p.add_argument("--location", default="neuron", choices=["neuron", "weight"])
+    p.add_argument("--injections", type=int, default=50,
+                   help="unique single-bit flips per layer")
+    p.add_argument("--batch", type=int, default=16,
+                   help="validation samples per injected inference")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("attack", help="adversarial attack efficacy vs format (§V-D)")
+    _add_model_args(p)
+    p.add_argument("--attack", default="fgsm", choices=["fgsm", "pgd"])
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--format", nargs="+",
+                   default=["native", "fp16", "fp8", "int8", "afp_e4m3"])
+    p.set_defaults(func=cmd_attack)
+
+    p = sub.add_parser("cost", help="MAC-count / bitwidth hardware cost proxy")
+    _add_model_args(p)
+    p.add_argument("--format", default="fp32", help="format spec to cost")
+    p.set_defaults(func=cmd_cost)
+
+    p = sub.add_parser("mixed", help="greedy per-layer mixed-precision assignment")
+    _add_model_args(p)
+    p.add_argument("--cheap", default="fp_e4m3")
+    p.add_argument("--expensive", default="fp16")
+    p.add_argument("--threshold", type=float, default=0.01)
+    p.set_defaults(func=cmd_mixed)
+
+    p = sub.add_parser("ranges", help="dynamic range table (Table I)")
+    p.add_argument("--format", nargs="*", help="format specs (default: all named)")
+    p.set_defaults(func=cmd_ranges)
+
+    p = sub.add_parser("sites", help="list the single-bit injection sites")
+    p.add_argument("--kind", choices=["value", "metadata"], default=None)
+    p.set_defaults(func=cmd_sites)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""``repro.core`` — the GoldenEye platform: emulation hooks, injection engine,
+resilience metrics, campaigns, DSE heuristic, and the range detector."""
+
+from .campaign import CampaignResult, LayerCampaignResult, golden_inference, run_campaign
+from .detector import RangeDetector
+from .dse import (
+    DseNode,
+    DseResult,
+    FAMILY_BUILDERS,
+    binary_tree_search,
+    default_exp_bits,
+    evaluate_format_accuracy,
+)
+from .gradinject import (
+    FaultyTrainingResult,
+    GradientInjection,
+    GradientInjector,
+    train_with_gradient_faults,
+)
+from .goldeneye import GoldenEye, LayerState, TARGET_KINDS, default_target_types
+from .injection import InjectionEngine, InjectionError, MetadataInjection, ValueInjection
+from .metrics import (
+    InferenceOutcome,
+    compare_outcomes,
+    cross_entropy_values,
+    delta_loss,
+    mismatch_count,
+    mismatch_rate,
+    sdc_classify,
+    softmax_probs,
+)
+from .sites import INJECTION_SITES, InjectionSite, injection_sites, site_by_name
+
+__all__ = [
+    "GradientInjection",
+    "GradientInjector",
+    "FaultyTrainingResult",
+    "train_with_gradient_faults",
+    "GoldenEye",
+    "LayerState",
+    "TARGET_KINDS",
+    "default_target_types",
+    "InjectionEngine",
+    "InjectionError",
+    "ValueInjection",
+    "MetadataInjection",
+    "RangeDetector",
+    "InferenceOutcome",
+    "compare_outcomes",
+    "softmax_probs",
+    "cross_entropy_values",
+    "delta_loss",
+    "mismatch_count",
+    "mismatch_rate",
+    "sdc_classify",
+    "CampaignResult",
+    "LayerCampaignResult",
+    "run_campaign",
+    "golden_inference",
+    "DseNode",
+    "DseResult",
+    "binary_tree_search",
+    "evaluate_format_accuracy",
+    "default_exp_bits",
+    "FAMILY_BUILDERS",
+    "InjectionSite",
+    "INJECTION_SITES",
+    "injection_sites",
+    "site_by_name",
+]

@@ -1,0 +1,190 @@
+"""Injection-campaign runner: N unique single-bit flips per layer (§IV-C).
+
+A campaign fixes a model + number format, runs one error-free (golden)
+inference per evaluation batch, then performs ``injections_per_layer`` unique
+bit flips at each instrumented layer — in data values or metadata — measuring
+ΔLoss and mismatches for each against the golden outcome.  This reproduces
+the experimental procedure behind Fig. 7 ("1000 unique single-bit flip
+injections for each of data and metadata at a layer-granularity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+from .goldeneye import GoldenEye
+from .injection import InjectionError, MetadataInjection, ValueInjection
+from .metrics import InferenceOutcome, compare_outcomes
+
+__all__ = ["CampaignResult", "LayerCampaignResult", "run_campaign", "golden_inference"]
+
+
+@dataclass
+class LayerCampaignResult:
+    """Aggregated resilience statistics for one layer."""
+
+    layer: str
+    injections: int
+    mean_delta_loss: float
+    max_delta_loss: float
+    mismatch_rate: float
+    sdc_rate: float
+    delta_losses: list[float] = field(default_factory=list, repr=False)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole injection campaign."""
+
+    kind: str  # "value" | "metadata"
+    location: str  # "neuron" | "weight"
+    format_name: str
+    golden_accuracy: float
+    per_layer: dict[str, LayerCampaignResult]
+
+    def mean_delta_loss(self) -> float:
+        """Network-level resilience: ΔLoss averaged across layers (§V-A)."""
+        if not self.per_layer:
+            return 0.0
+        return float(np.mean([r.mean_delta_loss for r in self.per_layer.values()]))
+
+    def mean_mismatch_rate(self) -> float:
+        if not self.per_layer:
+            return 0.0
+        return float(np.mean([r.mismatch_rate for r in self.per_layer.values()]))
+
+
+def golden_inference(platform: GoldenEye, images: np.ndarray,
+                     labels: np.ndarray) -> InferenceOutcome:
+    """Run one clean (injection-free) inference under the platform's format."""
+    platform.model.eval()
+    with nn.no_grad(), np.errstate(over="ignore", invalid="ignore"):
+        # injected faults legitimately push activations to inf/NaN; the
+        # metrics layer accounts for non-finite logits explicitly
+        logits = platform.model(Tensor(np.asarray(images, dtype=np.float32)))
+    return InferenceOutcome(logits=logits.data.copy(), labels=np.asarray(labels))
+
+
+def run_campaign(
+    platform: GoldenEye,
+    images: np.ndarray,
+    labels: np.ndarray,
+    kind: str = "value",
+    location: str = "neuron",
+    injections_per_layer: int = 100,
+    seed: int = 0,
+    layers: list[str] | None = None,
+    num_bits: int = 1,
+) -> CampaignResult:
+    """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
+
+    The platform must already be attached.  Each injection is unique within
+    its layer (no repeated (index, bits) pair), mirroring the paper's "1000
+    unique single-bit flip injections"; ``num_bits > 1`` switches to the
+    multi-bit flip error model (several bits of the same word at once).
+    """
+    if not platform.attached:
+        raise RuntimeError("attach() the GoldenEye platform before running a campaign")
+    if kind not in ("value", "metadata"):
+        raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
+    rng = np.random.default_rng(seed)
+    golden = golden_inference(platform, images, labels)  # also warms output shapes
+
+    target_layers = layers if layers is not None else platform.layer_names()
+    fmt = platform.spawn_format()
+    per_layer: dict[str, LayerCampaignResult] = {}
+    for layer in target_layers:
+        stats = _run_layer(platform, layer, golden, images, kind, location,
+                           injections_per_layer, rng, num_bits)
+        if stats is not None:
+            per_layer[layer] = stats
+    return CampaignResult(
+        kind=kind,
+        location=location,
+        format_name=fmt.name if fmt is not None else "mixed",
+        golden_accuracy=golden.accuracy,
+        per_layer=per_layer,
+    )
+
+
+def _run_layer(
+    platform: GoldenEye,
+    layer: str,
+    golden: InferenceOutcome,
+    images: np.ndarray,
+    kind: str,
+    location: str,
+    budget: int,
+    rng: np.random.Generator,
+    num_bits: int = 1,
+) -> LayerCampaignResult | None:
+    engine = platform.injector
+    seen: set[tuple] = set()
+    delta_losses: list[float] = []
+    mismatches = 0.0
+    sdcs = 0.0
+    performed = 0
+    attempts = 0
+    max_attempts = budget * 20
+    while performed < budget and attempts < max_attempts:
+        attempts += 1
+        try:
+            if kind == "value":
+                plan = engine.sample_value_injection(rng, layer=layer,
+                                                     location=location,
+                                                     num_bits=num_bits)
+                key = (plan.flat_index, plan.bits)
+            else:
+                plan = engine.sample_metadata_injection(rng, layer=layer,
+                                                        location=location,
+                                                        num_bits=num_bits)
+                key = (plan.register, plan.bits)
+        except InjectionError:
+            return None  # site inapplicable (e.g. metadata on a plain FP layer)
+        site_space = _site_space(platform, layer, kind, location)
+        if key in seen:
+            if len(seen) >= site_space:
+                break  # exhausted every unique site at this layer
+            continue
+        seen.add(key)
+        with engine.armed(plan):
+            faulty = golden_inference(platform, images, golden.labels)
+        metrics = compare_outcomes(golden, faulty)
+        delta_losses.append(metrics["delta_loss"])
+        mismatches += metrics["mismatch_rate"]
+        sdcs += metrics["sdc_rate"]
+        performed += 1
+    if performed == 0:
+        return None
+    return LayerCampaignResult(
+        layer=layer,
+        injections=performed,
+        mean_delta_loss=float(np.mean(delta_losses)),
+        max_delta_loss=float(np.max(delta_losses)),
+        mismatch_rate=mismatches / performed,
+        sdc_rate=sdcs / performed,
+        delta_losses=delta_losses,
+    )
+
+
+def _site_space(platform: GoldenEye, layer: str, kind: str, location: str) -> int:
+    """Total number of unique (index/register, bit) sites at this layer."""
+    state = platform.layers[layer]
+    if kind == "value":
+        if location == "neuron":
+            shape = state.last_output_shape or (0,)
+            numel = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+            width = state.neuron_format.bit_width if state.neuron_format else 32
+        else:
+            param = state.module._parameters.get("weight")
+            numel = param.data.size if param is not None else 0
+            width = state.weight_format.bit_width if state.weight_format else 32
+        return numel * width
+    fmt = state.neuron_format if location == "neuron" else state.weight_format
+    if fmt is None or not fmt.has_metadata:
+        return 0
+    return fmt.num_metadata_registers() * fmt.metadata_register_width()

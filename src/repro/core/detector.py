@@ -1,0 +1,72 @@
+"""Toggleable range detector (paper §V-B), modeled on Ranger-style clipping.
+
+The detector is profiled on clean inferences — recording each instrumented
+layer's observed activation range — and then, when active, clamps every
+layer's output to its profiled range.  Out-of-range values produced by an
+injected fault are pulled back to the boundary, which is the low-cost
+software-directed protection the paper references; the detector also counts
+how many values it clipped so campaigns can report detection rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RangeDetector"]
+
+
+@dataclass
+class RangeDetector:
+    """Per-layer activation-range profile with clamp-based correction."""
+
+    #: profiled (low, high) bounds per layer name
+    bounds: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: when False the detector observes ranges; when True it clamps to them
+    active: bool = False
+    #: number of clipped elements since the last reset, per layer
+    detections: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    def observe(self, layer: str, tensor: np.ndarray) -> None:
+        """Extend ``layer``'s profiled range to cover ``tensor``."""
+        low = float(np.min(tensor))
+        high = float(np.max(tensor))
+        if layer in self.bounds:
+            old_low, old_high = self.bounds[layer]
+            self.bounds[layer] = (min(low, old_low), max(high, old_high))
+        else:
+            self.bounds[layer] = (low, high)
+
+    # ------------------------------------------------------------------
+    # protection
+    # ------------------------------------------------------------------
+    def clamp(self, layer: str, tensor: np.ndarray) -> np.ndarray:
+        """Clamp ``tensor`` to the profiled range (observe when profiling)."""
+        if not self.active:
+            self.observe(layer, tensor)
+            return tensor
+        if layer not in self.bounds:
+            return tensor  # never profiled: pass through unprotected
+        low, high = self.bounds[layer]
+        with np.errstate(invalid="ignore"):
+            out_of_range = np.count_nonzero((tensor < low) | (tensor > high))
+            nan_count = np.count_nonzero(np.isnan(tensor))
+        if out_of_range or nan_count:
+            self.detections[layer] = self.detections.get(layer, 0) + int(out_of_range + nan_count)
+            tensor = np.nan_to_num(tensor, nan=0.0, posinf=high, neginf=low)
+            tensor = np.clip(tensor, low, high)
+        return tensor
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def reset_detections(self) -> None:
+        self.detections.clear()
+
+    @property
+    def total_detections(self) -> int:
+        return sum(self.detections.values())

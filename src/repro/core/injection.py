@@ -1,0 +1,354 @@
+"""Error-injection engine: single- and multi-bit flips in values and metadata.
+
+GoldenEye's injection routine is the abstract sequence the paper gives in
+§III-B: call ``real_to_format`` (Method 3) on the victim value, flip bits in
+the resulting bitstring, then call ``format_to_real`` (Method 4) and write the
+corrupted value back.  Metadata injections instead flip bits in a format's
+hardware register (shared exponent / scale factor / exponent bias) and
+re-express the dependent values under the corrupted register — which is how a
+"single-bit flip" in hardware becomes a multi-bit flip in value space.
+
+Injection *locations*:
+
+* ``"neuron"`` — the layer's output activations, corrupted during the forward
+  pass (dynamic runtime support);
+* ``"weight"`` — the layer's parameters, corrupted offline at arm time and
+  restored at disarm.
+
+When a layer has no emulated format (native FP32 fabric), value injections
+flip bits of the IEEE-754 binary32 encoding — the classic PyTorchFI-style
+single-bit-flip model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..formats.base import NumberFormat
+from ..formats.bfp import BlockFloatingPoint
+from ..formats.bitstring import bits_to_float32, flip_bit, float32_to_bits
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .goldeneye import GoldenEye, LayerState
+
+__all__ = ["ValueInjection", "MetadataInjection", "InjectionEngine", "InjectionError"]
+
+
+class InjectionError(RuntimeError):
+    """Raised for invalid or inapplicable injection plans."""
+
+
+@dataclass(frozen=True)
+class ValueInjection:
+    """Flip ``bits`` of the data value at ``flat_index`` in a layer's tensor."""
+
+    layer: str
+    location: str  # "neuron" | "weight"
+    flat_index: int
+    bits: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.location not in ("neuron", "weight"):
+            raise InjectionError(f"unknown location {self.location!r}")
+        if not self.bits:
+            raise InjectionError("at least one bit position is required")
+        if self.flat_index < 0:
+            raise InjectionError("flat_index must be non-negative")
+
+
+@dataclass(frozen=True)
+class MetadataInjection:
+    """Flip ``bits`` of metadata register ``register`` of a layer's format."""
+
+    layer: str
+    location: str  # "neuron" | "weight"
+    register: int
+    bits: tuple[int, ...]
+
+    def __post_init__(self):
+        if self.location not in ("neuron", "weight"):
+            raise InjectionError(f"unknown location {self.location!r}")
+        if not self.bits:
+            raise InjectionError("at least one bit position is required")
+
+
+def _flip_value(fmt: NumberFormat | None, value: float, bit_positions: tuple[int, ...],
+                block: int = 0) -> float:
+    """Encode → flip → decode one value under ``fmt`` (FP32 fabric if None)."""
+    if fmt is None:
+        bits = float32_to_bits(value)
+        for b in bit_positions:
+            bits = flip_bit(bits, b)
+        return bits_to_float32(bits)
+    if isinstance(fmt, BlockFloatingPoint):
+        bits = fmt.real_to_format(value, block=block)
+        for b in bit_positions:
+            bits = flip_bit(bits, b)
+        return fmt.format_to_real(bits, block=block)
+    bits = fmt.real_to_format(value)
+    for b in bit_positions:
+        bits = flip_bit(bits, b)
+    return fmt.format_to_real(bits)
+
+
+@dataclass
+class _WeightRestore:
+    layer: str
+    param_name: str
+    saved: np.ndarray
+    saved_metadata: object = None
+
+
+class InjectionEngine:
+    """Arms, applies, and reverses injection plans over a GoldenEye instance."""
+
+    def __init__(self, platform: "GoldenEye"):
+        self._platform = platform
+        self._neuron_plans: list[ValueInjection | MetadataInjection] = []
+        self._restores: list[_WeightRestore] = []
+        #: number of individual corruptions actually performed
+        self.injections_applied: int = 0
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self, *plans: ValueInjection | MetadataInjection) -> None:
+        """Schedule ``plans``; weight plans are applied immediately."""
+        for plan in plans:
+            state = self._layer_state(plan.layer)
+            if plan.location == "neuron":
+                self._validate_neuron_plan(state, plan)
+                self._neuron_plans.append(plan)
+            elif isinstance(plan, ValueInjection):
+                self._inject_weight_value(state, plan)
+            else:
+                self._inject_weight_metadata(state, plan)
+
+    def disarm(self) -> None:
+        """Clear scheduled neuron plans and restore corrupted weights."""
+        self._neuron_plans.clear()
+        for restore in reversed(self._restores):
+            state = self._layer_state(restore.layer)
+            np.copyto(getattr(state.module, restore.param_name).data, restore.saved)
+            if restore.saved_metadata is not None and state.weight_format is not None:
+                state.weight_format.metadata = restore.saved_metadata
+        self._restores.clear()
+
+    @contextlib.contextmanager
+    def armed(self, *plans: ValueInjection | MetadataInjection):
+        """Context manager: arm ``plans``, guarantee disarm afterwards."""
+        self.arm(*plans)
+        try:
+            yield self
+        finally:
+            self.disarm()
+
+    @property
+    def active(self) -> bool:
+        return bool(self._neuron_plans or self._restores)
+
+    # ------------------------------------------------------------------
+    # neuron-side application (called from the GoldenEye forward hook)
+    # ------------------------------------------------------------------
+    def apply_neuron_injections(self, state: "LayerState", quantized: np.ndarray) -> np.ndarray:
+        if not self._neuron_plans:
+            return quantized
+        for plan in self._neuron_plans:
+            if plan.layer != state.name:
+                continue
+            if isinstance(plan, MetadataInjection):
+                quantized = self._corrupt_neuron_metadata(state, plan, quantized)
+            else:
+                quantized = self._corrupt_neuron_value(state, plan, quantized)
+        return quantized
+
+    def _corrupt_neuron_value(self, state: "LayerState", plan: ValueInjection,
+                              quantized: np.ndarray) -> np.ndarray:
+        """Flip the planned bit at ``flat_index`` *within each sample*.
+
+        Every sample in the batch is one independent inference experiencing
+        the same single-bit flip at the same activation site (PyTorchFI's
+        batched-injection semantics), so one batched forward pass evaluates
+        the injection across the whole evaluation set at once.
+        """
+        out = quantized.copy()
+        batch = out.shape[0] if out.ndim > 1 else 1
+        per_sample = out.reshape(batch, -1)
+        sample_size = per_sample.shape[1]
+        if plan.flat_index >= sample_size:
+            raise InjectionError(
+                f"flat_index {plan.flat_index} out of range for layer {state.name} "
+                f"per-sample output of {sample_size} elements"
+            )
+        fmt = state.neuron_format
+        block_size = None
+        if isinstance(fmt, BlockFloatingPoint) and fmt.metadata is not None:
+            block_size = fmt.metadata.block_size
+        for s in range(batch):
+            block = 0
+            if block_size is not None:
+                block = (s * sample_size + plan.flat_index) // block_size
+            corrupted = _flip_value(fmt, float(per_sample[s, plan.flat_index]),
+                                    plan.bits, block=block)
+            per_sample[s, plan.flat_index] = np.float32(corrupted)
+        self.injections_applied += 1
+        return out
+
+    def _corrupt_neuron_metadata(self, state: "LayerState", plan: MetadataInjection,
+                                 quantized: np.ndarray) -> np.ndarray:
+        fmt = state.neuron_format
+        if fmt is None or not fmt.has_metadata:
+            raise InjectionError(
+                f"layer {state.name} format {fmt!r} has no metadata to inject into"
+            )
+        golden = state.neuron_golden_metadata
+        bits = fmt.get_metadata_bits(plan.register)
+        for b in plan.bits:
+            bits = flip_bit(bits, b)
+        fmt.set_metadata_bits(bits, plan.register)
+        corrupted = fmt.apply_metadata_corruption(quantized, golden)
+        self.injections_applied += 1
+        return corrupted
+
+    # ------------------------------------------------------------------
+    # weight-side application (offline, at arm time)
+    # ------------------------------------------------------------------
+    def _weight_param(self, state: "LayerState"):
+        param = state.module._parameters.get("weight")
+        if param is None:
+            raise InjectionError(f"layer {state.name} has no weight parameter")
+        return param
+
+    def _inject_weight_value(self, state: "LayerState", plan: ValueInjection) -> None:
+        param = self._weight_param(state)
+        flat = param.data.reshape(-1)
+        if plan.flat_index >= flat.size:
+            raise InjectionError(
+                f"flat_index {plan.flat_index} out of range for layer {state.name} "
+                f"weight of {flat.size} elements"
+            )
+        fmt = state.weight_format
+        block = 0
+        if isinstance(fmt, BlockFloatingPoint) and fmt.metadata is not None:
+            block = plan.flat_index // fmt.metadata.block_size
+        self._restores.append(
+            _WeightRestore(state.name, "weight", param.data.copy())
+        )
+        corrupted = _flip_value(fmt, float(flat[plan.flat_index]), plan.bits, block=block)
+        flat[plan.flat_index] = np.float32(corrupted)
+        self.injections_applied += 1
+
+    def _inject_weight_metadata(self, state: "LayerState", plan: MetadataInjection) -> None:
+        fmt = state.weight_format
+        if fmt is None or not fmt.has_metadata:
+            raise InjectionError(
+                f"layer {state.name} weight format {fmt!r} has no metadata"
+            )
+        param = self._weight_param(state)
+        golden = state.weight_golden_metadata
+        self._restores.append(
+            _WeightRestore(state.name, "weight", param.data.copy(),
+                           saved_metadata=golden)
+        )
+        bits = fmt.get_metadata_bits(plan.register)
+        for b in plan.bits:
+            bits = flip_bit(bits, b)
+        fmt.set_metadata_bits(bits, plan.register)
+        param.data[...] = fmt.apply_metadata_corruption(param.data, golden)
+        self.injections_applied += 1
+
+    # ------------------------------------------------------------------
+    # random-site sampling
+    # ------------------------------------------------------------------
+    def sample_value_injection(
+        self,
+        rng: np.random.Generator,
+        layer: str | None = None,
+        location: str = "neuron",
+        num_bits: int = 1,
+    ) -> ValueInjection:
+        """Sample a uniformly random single/multi-bit value injection.
+
+        Neuron sampling requires a prior (warm-up) forward pass so output
+        shapes are known.
+        """
+        state = self._pick_layer(rng, layer)
+        if location == "neuron":
+            if state.last_output_shape is None:
+                raise InjectionError(
+                    f"layer {state.name} has no recorded output shape; "
+                    "run one clean forward pass first"
+                )
+            # index within one sample (batch axis excluded): each batch sample
+            # is an independent inference receiving the same flip
+            numel = int(np.prod(state.last_output_shape[1:])) \
+                if len(state.last_output_shape) > 1 else int(state.last_output_shape[0])
+            width = state.neuron_format.bit_width if state.neuron_format else 32
+        else:
+            param = self._weight_param(state)
+            numel = param.data.size
+            width = state.weight_format.bit_width if state.weight_format else 32
+        index = int(rng.integers(numel))
+        bits = tuple(sorted(rng.choice(width, size=num_bits, replace=False).tolist()))
+        return ValueInjection(state.name, location, index, bits)
+
+    def sample_metadata_injection(
+        self,
+        rng: np.random.Generator,
+        layer: str | None = None,
+        location: str = "neuron",
+        num_bits: int = 1,
+    ) -> MetadataInjection:
+        """Sample a uniformly random metadata-register injection."""
+        state = self._pick_layer(rng, layer)
+        fmt = state.neuron_format if location == "neuron" else state.weight_format
+        if fmt is None or not fmt.has_metadata:
+            raise InjectionError(f"layer {state.name} format {fmt!r} has no metadata")
+        registers = fmt.num_metadata_registers()
+        if registers == 0:
+            raise InjectionError(
+                f"layer {state.name} has no captured metadata; "
+                "run one clean forward pass (or attach weights) first"
+            )
+        width = fmt.metadata_register_width()
+        register = int(rng.integers(registers))
+        bits = tuple(sorted(rng.choice(width, size=num_bits, replace=False).tolist()))
+        return MetadataInjection(state.name, location, register, bits)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _layer_state(self, name: str) -> "LayerState":
+        try:
+            return self._platform.layers[name]
+        except KeyError:
+            raise InjectionError(
+                f"layer {name!r} is not instrumented; "
+                f"known layers: {', '.join(self._platform.layers)}"
+            ) from None
+
+    def _pick_layer(self, rng: np.random.Generator, layer: str | None) -> "LayerState":
+        if layer is not None:
+            return self._layer_state(layer)
+        names = list(self._platform.layers)
+        return self._platform.layers[names[int(rng.integers(len(names)))]]
+
+    def _validate_neuron_plan(self, state: "LayerState",
+                              plan: ValueInjection | MetadataInjection) -> None:
+        fmt = state.neuron_format
+        if isinstance(plan, MetadataInjection):
+            if fmt is None or not fmt.has_metadata:
+                raise InjectionError(
+                    f"layer {state.name} format {fmt!r} has no metadata to inject into"
+                )
+            return
+        width = fmt.bit_width if fmt is not None else 32
+        for b in plan.bits:
+            if not 0 <= b < width:
+                raise InjectionError(
+                    f"bit {b} out of range for {width}-bit format at layer {state.name}"
+                )

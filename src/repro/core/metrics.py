@@ -1,0 +1,137 @@
+"""Resilience metrics: classic *mismatch* counting and the faster *ΔLoss*.
+
+The paper adopts two metrics (§IV-C):
+
+* **mismatch** — how many error-injected inferences changed the predicted
+  class relative to the error-free inference [26];
+* **ΔLoss** [25] — the average absolute difference of the cross-entropy loss
+  between the faulty and error-free inferences.  Both converge to the same
+  ranking, but ΔLoss converges asymptotically faster because it compares a
+  continuous value instead of a binary outcome, which is what makes
+  GoldenEye's fast injection campaigns possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "softmax_probs",
+    "cross_entropy_values",
+    "mismatch_count",
+    "mismatch_rate",
+    "delta_loss",
+    "sdc_classify",
+    "InferenceOutcome",
+    "compare_outcomes",
+]
+
+
+def softmax_probs(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a (batch, classes) logits array (stable)."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_values(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-sample cross-entropy loss values (the quantity behind ΔLoss).
+
+    NaN/inf logits (possible after an injected fault) produce the maximal
+    loss contribution rather than propagating NaN into campaign averages.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    finite = np.isfinite(logits)
+    if not finite.all():
+        # replace non-finite entries with the most pessimistic finite values
+        big = 1e4
+        logits = np.where(np.isnan(logits), -big, logits)
+        logits = np.clip(logits, -big, big)
+    probs = softmax_probs(logits)
+    picked = probs[np.arange(len(labels)), labels]
+    return -np.log(np.maximum(picked, 1e-300))
+
+
+def mismatch_count(golden_logits: np.ndarray, faulty_logits: np.ndarray) -> int:
+    """Number of samples whose argmax class changed between runs."""
+    golden = np.asarray(golden_logits)
+    faulty = np.asarray(faulty_logits)
+    if golden.shape != faulty.shape:
+        raise ValueError(f"logit shapes differ: {golden.shape} vs {faulty.shape}")
+    with np.errstate(invalid="ignore"):
+        faulty = np.nan_to_num(faulty, nan=-np.inf)
+    return int(np.count_nonzero(golden.argmax(axis=-1) != faulty.argmax(axis=-1)))
+
+
+def mismatch_rate(golden_logits: np.ndarray, faulty_logits: np.ndarray) -> float:
+    """Fraction of samples whose prediction changed."""
+    n = len(np.asarray(golden_logits))
+    if n == 0:
+        raise ValueError("empty batch")
+    return mismatch_count(golden_logits, faulty_logits) / n
+
+
+def delta_loss(golden_logits: np.ndarray, faulty_logits: np.ndarray,
+               labels: np.ndarray) -> float:
+    """Mean |CE(faulty) - CE(golden)| over the batch — the ΔLoss metric [25]."""
+    golden = cross_entropy_values(golden_logits, labels)
+    faulty = cross_entropy_values(faulty_logits, labels)
+    return float(np.mean(np.abs(faulty - golden)))
+
+
+def sdc_classify(golden_logits: np.ndarray, faulty_logits: np.ndarray,
+                 labels: np.ndarray) -> dict[str, int]:
+    """Classify per-sample injection outcomes.
+
+    Returns counts of:
+
+    * ``masked`` — prediction unchanged;
+    * ``sdc`` — prediction changed and is now wrong (silent data corruption);
+    * ``benign_flip`` — prediction changed but happens to be correct now.
+    """
+    golden_pred = np.asarray(golden_logits).argmax(axis=-1)
+    with np.errstate(invalid="ignore"):
+        faulty_pred = np.nan_to_num(np.asarray(faulty_logits), nan=-np.inf).argmax(axis=-1)
+    labels = np.asarray(labels)
+    changed = golden_pred != faulty_pred
+    return {
+        "masked": int(np.count_nonzero(~changed)),
+        "sdc": int(np.count_nonzero(changed & (faulty_pred != labels))),
+        "benign_flip": int(np.count_nonzero(changed & (faulty_pred == labels))),
+    }
+
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """Logits + labels of one inference run, ready for metric comparison."""
+
+    logits: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def accuracy(self) -> float:
+        with np.errstate(invalid="ignore"):
+            preds = np.nan_to_num(self.logits, nan=-np.inf).argmax(axis=-1)
+        return float(np.mean(preds == self.labels))
+
+    @property
+    def mean_loss(self) -> float:
+        return float(np.mean(cross_entropy_values(self.logits, self.labels)))
+
+
+def compare_outcomes(golden: InferenceOutcome, faulty: InferenceOutcome) -> dict[str, float]:
+    """All supported metrics between a golden and a faulty run."""
+    counts = sdc_classify(golden.logits, faulty.logits, golden.labels)
+    total = len(golden.labels)
+    return {
+        "mismatches": float(counts["sdc"] + counts["benign_flip"]),
+        "mismatch_rate": (counts["sdc"] + counts["benign_flip"]) / total,
+        "delta_loss": delta_loss(golden.logits, faulty.logits, golden.labels),
+        "sdc_rate": counts["sdc"] / total,
+        "faulty_accuracy": faulty.accuracy,
+        "golden_accuracy": golden.accuracy,
+    }

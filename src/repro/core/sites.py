@@ -1,0 +1,97 @@
+"""The single-bit injection-site catalogue (paper §I, §III-B).
+
+The paper studies "a total of 8 different single-bit injection error sites
+informed by the number format representations": data-value bit flips for all
+five number formats, plus hardware-metadata flips for the three formats that
+keep shared state (INT's scale factor, BFP's shared exponents, AFP's exponent
+bias).  This module names those sites, documents what a flipped bit means in
+each, and maps a site to the format spec + injection kind the campaign runner
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats.base import NumberFormat
+from ..formats.registry import make_format
+
+__all__ = ["InjectionSite", "INJECTION_SITES", "injection_sites", "site_by_name"]
+
+
+@dataclass(frozen=True)
+class InjectionSite:
+    """One of the catalogue's injection sites."""
+
+    #: unique site name, e.g. ``"bfp-metadata"``
+    name: str
+    #: a representative format spec for the site
+    format_spec: str
+    #: ``"value"`` or ``"metadata"``
+    kind: str
+    #: what a single flipped bit physically corrupts
+    description: str
+
+    def make_format(self) -> NumberFormat:
+        return make_format(self.format_spec)
+
+
+INJECTION_SITES: tuple[InjectionSite, ...] = (
+    InjectionSite(
+        "fp-value", "fp32", "value",
+        "one bit of an IEEE-754-style value: sign, exponent, or mantissa "
+        "(the classic software single-bit-flip model)",
+    ),
+    InjectionSite(
+        "fxp-value", "fxp_1_15_16", "value",
+        "one bit of a two's-complement fixed-point value",
+    ),
+    InjectionSite(
+        "int-value", "int8", "value",
+        "one bit of a signed integer code (the dequantized error scales with "
+        "the tensor's scale factor)",
+    ),
+    InjectionSite(
+        "bfp-value", "bfp_e5m5_b16", "value",
+        "one bit of a BFP element (sign or mantissa only — the exponent is "
+        "shared, so the per-value word is short and its sign bit weighs more)",
+    ),
+    InjectionSite(
+        "afp-value", "afp_e5m2", "value",
+        "one bit of an AdaptivFloat value (sign, exponent, or mantissa under "
+        "the tensor's shared bias)",
+    ),
+    InjectionSite(
+        "int-metadata", "int8", "metadata",
+        "one bit of the FP32 scale-factor register: every value dequantized "
+        "through it shifts together",
+    ),
+    InjectionSite(
+        "bfp-metadata", "bfp_e5m5_b16", "metadata",
+        "one bit of a shared-exponent register: the whole block rescales by a "
+        "power of two — a single hardware flip behaving as a multi-bit flip",
+    ),
+    InjectionSite(
+        "afp-metadata", "afp_e5m2", "metadata",
+        "one bit of the shared exponent-bias register: the whole tensor "
+        "rescales by a power of two",
+    ),
+)
+
+
+def injection_sites(kind: str | None = None) -> tuple[InjectionSite, ...]:
+    """All sites, optionally filtered to ``"value"`` or ``"metadata"``."""
+    if kind is None:
+        return INJECTION_SITES
+    if kind not in ("value", "metadata"):
+        raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
+    return tuple(s for s in INJECTION_SITES if s.kind == kind)
+
+
+def site_by_name(name: str) -> InjectionSite:
+    """Look up one catalogue site by its unique name."""
+    for site in INJECTION_SITES:
+        if site.name == name:
+            return site
+    raise KeyError(f"unknown injection site {name!r}; "
+                   f"known: {', '.join(s.name for s in INJECTION_SITES)}")

@@ -1,0 +1,24 @@
+"""``repro.data`` — synthetic dataset, batching, and train-and-cache helpers."""
+
+from .dataloader import DataLoader
+from .synthimagenet import SyntheticImageNet, make_splits
+from .trainer import (
+    TrainResult,
+    default_cache_dir,
+    evaluate_accuracy,
+    get_pretrained,
+    recalibrate_batchnorm,
+    train,
+)
+
+__all__ = [
+    "DataLoader",
+    "SyntheticImageNet",
+    "make_splits",
+    "TrainResult",
+    "train",
+    "evaluate_accuracy",
+    "get_pretrained",
+    "recalibrate_batchnorm",
+    "default_cache_dir",
+]

@@ -1,0 +1,56 @@
+"""Mini-batch iteration over in-memory arrays."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..nn.tensor import Tensor
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterate ``(Tensor images, ndarray labels)`` batches over arrays.
+
+    Shuffling is driven by an internal generator seeded at construction, so a
+    loader replays the identical batch sequence when re-seeded — important for
+    reproducible fault-injection campaigns.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        seed: int = 0,
+        drop_last: bool = False,
+    ):
+        if len(images) != len(labels):
+            raise ValueError(f"images ({len(images)}) and labels ({len(labels)}) disagree")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        n = len(self.images)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[Tensor, np.ndarray]]:
+        order = np.arange(len(self.images))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            yield Tensor(self.images[idx]), self.labels[idx]

@@ -1,0 +1,114 @@
+"""A deterministic synthetic stand-in for the ImageNet validation set.
+
+The paper evaluates pretrained ImageNet classifiers; offline we need a vision
+task that (a) is non-trivial, (b) is learnable by both small CNNs and small
+vision transformers, and (c) yields a graded accuracy signal so that number
+format degradation and fault injection produce measurable mismatches / ΔLoss.
+
+Each class is defined by a smooth random "texture" template (low-pass filtered
+noise).  A sample is its class template under a random gain, a random circular
+shift, and additive noise.  With the default signal-to-noise settings a small
+ResNet reaches high-but-not-perfect accuracy after a couple of epochs, and the
+per-class score margins are small enough that quantization error moves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SyntheticImageNet", "make_splits"]
+
+
+def _smooth_field(rng: np.random.Generator, channels: int, size: int, cutoff: int) -> np.ndarray:
+    """Generate a smooth random field via low-pass filtering in Fourier space."""
+    noise = rng.standard_normal((channels, size, size))
+    spectrum = np.fft.fft2(noise)
+    fy = np.fft.fftfreq(size)[:, None]
+    fx = np.fft.fftfreq(size)[None, :]
+    mask = (np.abs(fy) <= cutoff / size) & (np.abs(fx) <= cutoff / size)
+    smooth = np.real(np.fft.ifft2(spectrum * mask))
+    smooth /= np.abs(smooth).max() + 1e-12
+    return smooth.astype(np.float32)
+
+
+@dataclass
+class SyntheticImageNet:
+    """Deterministic synthetic image classification dataset.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of target classes.
+    num_samples:
+        Total samples generated (balanced across classes).
+    image_size:
+        Side length of the square RGB images.
+    noise_std:
+        Std-dev of the additive per-sample Gaussian noise (in template units).
+    seed:
+        Every array this dataset produces is a pure function of the seed.
+    """
+
+    num_classes: int = 10
+    num_samples: int = 800
+    image_size: int = 32
+    channels: int = 3
+    noise_std: float = 0.4
+    max_shift: int = 2
+    seed: int = 0
+    images: np.ndarray = field(init=False, repr=False)
+    labels: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.num_classes < 2:
+            raise ValueError("need at least two classes")
+        if self.num_samples < self.num_classes:
+            raise ValueError("need at least one sample per class")
+        rng = np.random.default_rng(self.seed)
+        cutoff = max(2, self.image_size // 5)
+        templates = np.stack(
+            [_smooth_field(rng, self.channels, self.image_size, cutoff=cutoff)
+             for _ in range(self.num_classes)]
+        )
+        labels = np.arange(self.num_samples) % self.num_classes
+        rng.shuffle(labels)
+        images = np.empty(
+            (self.num_samples, self.channels, self.image_size, self.image_size),
+            dtype=np.float32,
+        )
+        for i, label in enumerate(labels):
+            gain = rng.uniform(0.7, 1.3)
+            dy, dx = rng.integers(-self.max_shift, self.max_shift + 1, size=2)
+            sample = np.roll(templates[label] * gain, shift=(dy, dx), axis=(1, 2))
+            sample = sample + rng.standard_normal(sample.shape).astype(np.float32) * self.noise_std
+            images[i] = sample
+        # Standardize like ImageNet preprocessing (zero mean, unit variance).
+        mean = images.mean(axis=(0, 2, 3), keepdims=True)
+        std = images.std(axis=(0, 2, 3), keepdims=True) + 1e-6
+        self.images = ((images - mean) / std).astype(np.float32)
+        self.labels = labels.astype(np.int64)
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def subset(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(images, labels)`` arrays for the given indices."""
+        indices = np.asarray(indices)
+        return self.images[indices], self.labels[indices]
+
+
+def make_splits(
+    dataset: SyntheticImageNet, train_fraction: float = 0.75, seed: int = 1234
+) -> tuple[tuple[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+    """Deterministically split a dataset into (train, validation) arrays."""
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must lie strictly between 0 and 1")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(dataset))
+    cut = int(len(dataset) * train_fraction)
+    return dataset.subset(order[:cut]), dataset.subset(order[cut:])

@@ -1,0 +1,164 @@
+"""Training loop and a train-once/cache-weights helper.
+
+The paper uses pretrained ImageNet checkpoints; our substitute trains small
+models on :class:`~repro.data.synthimagenet.SyntheticImageNet` and caches the
+resulting weights on disk, so benchmark runs after the first are as cheap as
+loading a checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..models.registry import create_model
+from .dataloader import DataLoader
+from .synthimagenet import SyntheticImageNet, make_splits
+
+__all__ = ["TrainResult", "train", "evaluate_accuracy", "get_pretrained", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """Weight-cache directory (override with ``REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro_goldeneye"
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    model: nn.Module
+    train_accuracy: float
+    val_accuracy: float
+    losses: list[float]
+
+
+def recalibrate_batchnorm(model: nn.Module, data: tuple[np.ndarray, np.ndarray],
+                          batch_size: int = 64) -> None:
+    """Re-estimate BatchNorm running statistics with a cumulative average.
+
+    During short training runs the exponential running statistics lag the
+    rapidly-moving activations, which hurts eval-mode accuracy.  This pass
+    replays the training data in train mode (no grad) with per-batch momentum
+    ``1/(i+1)``, i.e. an exact cumulative moving average of the batch stats.
+    """
+    bn_layers = [m for m in model.modules() if isinstance(m, nn.BatchNorm2d)]
+    if not bn_layers:
+        return
+    for bn in bn_layers:
+        bn._buffers["running_mean"][:] = 0.0
+        bn._buffers["running_var"][:] = 0.0
+    model.train()
+    loader = DataLoader(*data, batch_size=batch_size)
+    with nn.no_grad():
+        for i, (images, _) in enumerate(loader):
+            for bn in bn_layers:
+                bn.momentum = 1.0 / (i + 1)
+            model(images)
+    for bn in bn_layers:
+        bn.momentum = 0.1
+    model.eval()
+
+
+def evaluate_accuracy(model: nn.Module, loader: DataLoader) -> float:
+    """Top-1 accuracy of ``model`` over ``loader`` (no-grad, eval mode)."""
+    model.eval()
+    correct = 0
+    total = 0
+    with nn.no_grad():
+        for images, labels in loader:
+            logits = model(images)
+            correct += int((logits.argmax(axis=-1) == labels).sum())
+            total += len(labels)
+    return correct / max(total, 1)
+
+
+def train(
+    model: nn.Module,
+    train_data: tuple[np.ndarray, np.ndarray],
+    val_data: tuple[np.ndarray, np.ndarray],
+    epochs: int = 5,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainResult:
+    """Train ``model`` with Adam + cross-entropy; return accuracies and losses."""
+    train_loader = DataLoader(*train_data, batch_size=batch_size, shuffle=True, seed=seed)
+    val_loader = DataLoader(*val_data, batch_size=batch_size)
+    optimizer = nn.Adam(model.parameters(), lr=lr)
+    losses: list[float] = []
+    for epoch in range(epochs):
+        model.train()
+        epoch_loss = 0.0
+        batches = 0
+        for images, labels in train_loader:
+            optimizer.zero_grad()
+            logits = model(images)
+            loss = F.cross_entropy(logits, labels)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+        losses.append(epoch_loss / max(batches, 1))
+        if verbose:
+            print(f"epoch {epoch + 1}/{epochs}: loss={losses[-1]:.4f}")
+    recalibrate_batchnorm(model, train_data, batch_size=batch_size)
+    train_accuracy = evaluate_accuracy(model, DataLoader(*train_data, batch_size=batch_size))
+    val_accuracy = evaluate_accuracy(model, val_loader)
+    return TrainResult(model=model, train_accuracy=train_accuracy,
+                       val_accuracy=val_accuracy, losses=losses)
+
+
+def _cache_key(model_name: str, dataset: SyntheticImageNet, epochs: int, seed: int) -> str:
+    spec = (
+        f"{model_name}-c{dataset.num_classes}-n{dataset.num_samples}-s{dataset.image_size}"
+        f"-noise{dataset.noise_std}-dseed{dataset.seed}-e{epochs}-tseed{seed}"
+    )
+    digest = hashlib.sha1(spec.encode()).hexdigest()[:12]
+    return f"{model_name}-{digest}"
+
+
+def get_pretrained(
+    model_name: str,
+    dataset: SyntheticImageNet | None = None,
+    epochs: int = 4,
+    seed: int = 0,
+    cache_dir: Path | str | None = None,
+    **model_kwargs,
+) -> tuple[nn.Module, tuple[np.ndarray, np.ndarray]]:
+    """Return ``(trained model, validation split)``, training on a cache miss.
+
+    The validation split is what the paper's case studies sweep over; it is a
+    pure function of the dataset seed, so every experiment sees the same data.
+    """
+    dataset = dataset or SyntheticImageNet()
+    factory_kwargs = dict(num_classes=dataset.num_classes, seed=seed, **model_kwargs)
+    from ..models.registry import MODEL_REGISTRY
+    factory = MODEL_REGISTRY[model_name]  # KeyError surfaces the bad name early
+    params = inspect.signature(factory).parameters
+    if "image_size" in params:
+        factory_kwargs["image_size"] = dataset.image_size
+    model = create_model(model_name, **factory_kwargs)
+    train_split, val_split = make_splits(dataset)
+    cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{_cache_key(model_name, dataset, epochs, seed)}.npz"
+    if path.exists():
+        nn.load_model(model, path)
+        model.eval()
+        return model, val_split
+    result = train(model, train_split, val_split, epochs=epochs, seed=seed)
+    nn.save_model(result.model, path)
+    model.eval()
+    return model, val_split

@@ -1,0 +1,54 @@
+"""``repro.formats`` — emulated number systems with hardware metadata.
+
+The five formats of the paper (FP, FxP, INT, BFP, AFP), each implementing the
+four pure-virtual conversion methods of the GoldenEye API plus, where the
+hardware keeps shared state, injectable metadata registers.
+"""
+
+from .afp import AdaptivFloat
+from .base import MetadataError, NumberFormat
+from .bfp import BfpMetadata, BlockFloatingPoint
+from .bitstring import (
+    Bitstring,
+    bits_to_float32,
+    bits_to_uint,
+    flip_bit,
+    float32_to_bits,
+    int_to_twos_complement,
+    twos_complement_to_int,
+    uint_to_bits,
+    validate_bits,
+)
+from .fp import FloatingPoint
+from .fxp import FixedPoint
+from .intq import IntegerQuant
+from .posit import Posit
+from .ranges import DynamicRange, dynamic_range
+from .registry import NAMED_FORMATS, available_formats, make_format, register_format
+
+__all__ = [
+    "NumberFormat",
+    "MetadataError",
+    "FloatingPoint",
+    "FixedPoint",
+    "IntegerQuant",
+    "Posit",
+    "BlockFloatingPoint",
+    "BfpMetadata",
+    "AdaptivFloat",
+    "Bitstring",
+    "flip_bit",
+    "bits_to_uint",
+    "uint_to_bits",
+    "int_to_twos_complement",
+    "twos_complement_to_int",
+    "float32_to_bits",
+    "bits_to_float32",
+    "validate_bits",
+    "DynamicRange",
+    "dynamic_range",
+    "NAMED_FORMATS",
+    "make_format",
+    "register_format",
+    "available_formats",
+]

@@ -1,0 +1,150 @@
+"""The GoldenEye number-format API (paper §III-B).
+
+Every number system implements four pure virtual methods:
+
+1. ``real_to_format_tensor(tensor)`` — vectorized: read a tensor of values in
+   the compute fabric's format (FP32 here), return the nearest values
+   representable in the emulated format, expressed back in the fabric format.
+2. ``format_to_real_tensor(tensor)`` — the reverse; the default implementation
+   is a cast to FP32, as in the paper.
+3. ``real_to_format(value)`` — scalar: convert one value to its bitstring in
+   the emulated format's bit layout (slow path, used by error injection).
+4. ``format_to_real(bitstring)`` — scalar: bitstring back to a real value.
+
+*Hardware metadata* (shared exponents, scale factors, exponent biases) is held
+at the class level: ``real_to_format_tensor`` captures it as a side effect,
+and the scalar methods interpret bitstrings under the currently-captured
+metadata — exactly the decoupling of "hardware implementation of the number"
+from "the numeric value it represents" that the paper describes (§III-A).
+Formats with metadata additionally expose *metadata registers* that the
+injection engine can flip bits in, plus a hook to propagate a corrupted
+register back into every data value that depended on it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from .bitstring import Bitstring
+
+__all__ = ["NumberFormat", "MetadataError"]
+
+
+class MetadataError(RuntimeError):
+    """Raised when scalar/metadata operations run before metadata is captured."""
+
+
+class NumberFormat(abc.ABC):
+    """Abstract base class for all emulated number systems.
+
+    Parameters common to every format (the paper's "base knobs") are
+    ``bit_width`` and ``radix``; subclasses add their own (e.g. ``exp_bias``
+    for AdaptivFloat, ``block_size`` for block floating point).
+    """
+
+    #: short machine name, e.g. ``"fp"``, ``"bfp"`` — set by subclasses
+    kind: str = "abstract"
+    #: whether this format keeps hardware metadata alongside data values
+    has_metadata: bool = False
+
+    def __init__(self, bit_width: int, radix: int):
+        if bit_width < 2:
+            raise ValueError(f"bit_width must be >= 2, got {bit_width}")
+        if not 0 <= radix <= bit_width:
+            raise ValueError(f"radix {radix} outside [0, {bit_width}]")
+        self.bit_width = int(bit_width)
+        self.radix = int(radix)
+        self.metadata: Any | None = None
+
+    # ------------------------------------------------------------------
+    # the four pure-virtual methods (paper §III-B)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def real_to_format_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        """Quantize an FP32 tensor to this format, returned in FP32 space.
+
+        Side effect: captures this tensor's hardware metadata (if any) into
+        ``self.metadata`` for subsequent scalar operations.
+        """
+
+    def format_to_real_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        """Default implementation per the paper: a cast to the fabric format."""
+        return np.asarray(tensor, dtype=np.float32)
+
+    @abc.abstractmethod
+    def real_to_format(self, value: float) -> Bitstring:
+        """Encode one real value as this format's bitstring (MSB first)."""
+
+    @abc.abstractmethod
+    def format_to_real(self, bits: Bitstring) -> float:
+        """Decode one bitstring back into a real value."""
+
+    # ------------------------------------------------------------------
+    # metadata registers (for hardware-aware metadata injection)
+    # ------------------------------------------------------------------
+    def num_metadata_registers(self) -> int:
+        """How many metadata registers the last converted tensor produced."""
+        return 0
+
+    def metadata_register_width(self) -> int:
+        """Bit width of one metadata register."""
+        raise MetadataError(f"{self.kind} carries no hardware metadata")
+
+    def get_metadata_bits(self, register: int = 0) -> Bitstring:
+        """Read metadata register ``register`` as a bitstring."""
+        raise MetadataError(f"{self.kind} carries no hardware metadata")
+
+    def set_metadata_bits(self, bits: Bitstring, register: int = 0) -> None:
+        """Overwrite metadata register ``register`` from a bitstring."""
+        raise MetadataError(f"{self.kind} carries no hardware metadata")
+
+    def apply_metadata_corruption(self, tensor: np.ndarray,
+                                  original_metadata: Any) -> np.ndarray:
+        """Re-express ``tensor`` under the *current* (possibly corrupted) metadata.
+
+        ``tensor`` must be the output of :meth:`real_to_format_tensor` that
+        produced ``original_metadata``.  For the shared-state formats this is
+        a (per-block) multiplicative rescale: flipping a shared exponent bit
+        behaves as a multi-bit flip across every value that reads it — the
+        hardware-aware behaviour the paper highlights (§II-B).
+        """
+        raise MetadataError(f"{self.kind} carries no hardware metadata")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _require_metadata(self) -> Any:
+        if self.metadata is None:
+            raise MetadataError(
+                f"{self.name} has no captured metadata; call real_to_format_tensor first"
+            )
+        return self.metadata
+
+    def spawn(self) -> "NumberFormat":
+        """Fresh instance with identical knobs and no captured metadata.
+
+        GoldenEye keeps one instance per instrumented layer so that per-layer
+        metadata never aliases.
+        """
+        return type(self)(**self.config())
+
+    @abc.abstractmethod
+    def config(self) -> dict:
+        """The constructor kwargs that reproduce this format."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``FP(e5m10)``."""
+        return f"{self.kind}({self.bit_width}b)"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self.config() == other.config()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.config().items()))))

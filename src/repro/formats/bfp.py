@@ -1,0 +1,198 @@
+"""Block floating point (BFP) with a shared per-block exponent register.
+
+A BFP tensor stores, per block of ``block_size`` values, one shared exponent
+plus per-element sign-magnitude mantissas (§II-A).  The shared exponent is the
+exponent of the block's largest magnitude; smaller elements are represented on
+that coarse grid, which is why "the resolution of low magnitude numbers may
+suffer, by being essentially rounded to zero" when the block is large (§IV-B).
+
+Unlike QPyTorch's BFP, the exponent width is a free parameter (the paper calls
+out the pegged-at-8-bits limitation it fixed), and the shared exponents are
+first-class *metadata registers*: flipping one bit of a shared exponent
+rescales every value in the block — the multi-bit-flip equivalence that makes
+hardware-aware injection different from value injection (§II-B).
+
+Element layout: ``[sign | mantissa]`` (``1 + mantissa_bits`` bits).  An
+element value is ``(-1)^sign * mantissa * 2^(E - mantissa_bits + 1)`` where
+``E`` is the block's shared exponent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import MetadataError, NumberFormat
+from .bitstring import Bitstring, bits_to_uint, uint_to_bits, validate_bits
+
+__all__ = ["BlockFloatingPoint", "BfpMetadata"]
+
+
+@dataclass
+class BfpMetadata:
+    """Hardware state of one converted BFP tensor."""
+
+    #: raw exponent register fields, one per block (unsigned, ``exp_bits`` wide)
+    exp_fields: np.ndarray
+    #: elements per block (last block may be partial)
+    block_size: int
+    #: total element count of the converted tensor
+    numel: int
+
+    def copy(self) -> "BfpMetadata":
+        return BfpMetadata(self.exp_fields.copy(), self.block_size, self.numel)
+
+
+class BlockFloatingPoint(NumberFormat):
+    """Sign-magnitude mantissas sharing per-block exponent registers."""
+
+    kind = "bfp"
+    has_metadata = True
+
+    def __init__(self, exp_bits: int = 8, mantissa_bits: int = 7,
+                 block_size: int | None = None):
+        if exp_bits < 2:
+            raise ValueError(f"need at least 2 exponent bits, got {exp_bits}")
+        if mantissa_bits < 1:
+            raise ValueError(f"need at least 1 mantissa bit, got {mantissa_bits}")
+        if block_size is not None and block_size < 1:
+            raise ValueError(f"block_size must be >= 1 or None, got {block_size}")
+        # element bit width: sign + mantissa (exponent lives in metadata)
+        super().__init__(bit_width=1 + mantissa_bits, radix=mantissa_bits)
+        self.exp_bits = int(exp_bits)
+        self.mantissa_bits = int(mantissa_bits)
+        self.block_size = block_size
+        self.exp_bias = (1 << (exp_bits - 1)) - 1
+        self.max_exp_field = (1 << exp_bits) - 1
+        self.max_mantissa = (1 << mantissa_bits) - 1
+
+    def config(self) -> dict:
+        return {
+            "exp_bits": self.exp_bits,
+            "mantissa_bits": self.mantissa_bits,
+            "block_size": self.block_size,
+        }
+
+    @property
+    def name(self) -> str:
+        block = "tensor" if self.block_size is None else str(self.block_size)
+        return f"bfp(e{self.exp_bits}m{self.mantissa_bits},b={block})"
+
+    # ------------------------------------------------------------------
+    # block helpers
+    # ------------------------------------------------------------------
+    def _block_of(self, flat_index: int) -> int:
+        meta = self._require_metadata()
+        if not 0 <= flat_index < meta.numel:
+            raise IndexError(f"flat index {flat_index} outside tensor of {meta.numel} elements")
+        return flat_index // meta.block_size
+
+    def _shared_exponent(self, block: int) -> int:
+        meta = self._require_metadata()
+        return int(meta.exp_fields[block]) - self.exp_bias
+
+    def _granularity(self, block: int) -> float:
+        return 2.0 ** (self._shared_exponent(block) - self.mantissa_bits + 1)
+
+    # ------------------------------------------------------------------
+    # tensor path
+    # ------------------------------------------------------------------
+    def real_to_format_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        x = np.asarray(tensor, dtype=np.float32)
+        flat = x.reshape(-1).astype(np.float64)
+        numel = flat.size
+        block_size = self.block_size or max(numel, 1)
+        num_blocks = max((numel + block_size - 1) // block_size, 1)
+        padded = np.zeros(num_blocks * block_size, dtype=np.float64)
+        padded[:numel] = flat
+        blocks = padded.reshape(num_blocks, block_size)
+
+        # shared exponent from finite magnitudes only (upstream faults may
+        # have produced inf/NaN, which must not blow up the exponent register)
+        magnitude = np.where(np.isfinite(blocks), np.abs(blocks), 0.0)
+        peak = np.max(magnitude, axis=1)
+        with np.errstate(divide="ignore"):
+            _, raw_exp = np.frexp(peak)
+        shared_exp = raw_exp - 1  # floor(log2 peak); all-zero blocks masked below
+        exp_fields = np.clip(shared_exp + self.exp_bias, 0, self.max_exp_field).astype(np.int64)
+        shared_exp = exp_fields - self.exp_bias  # after clamping to the register range
+        self.metadata = BfpMetadata(exp_fields=exp_fields, block_size=block_size, numel=numel)
+
+        granularity = np.exp2(shared_exp - self.mantissa_bits + 1)[:, None]
+        mantissas = np.round(np.abs(blocks) / granularity)
+        # sign-magnitude mantissas: NaN has no encoding (-> 0), inf saturates
+        mantissas = np.nan_to_num(mantissas, nan=0.0, posinf=self.max_mantissa)
+        mantissas = np.clip(mantissas, 0, self.max_mantissa)
+        signs = np.where(np.isnan(blocks), 0.0, np.sign(blocks))
+        quantized = signs * mantissas * granularity
+        zero_block = peak == 0.0
+        if zero_block.any():
+            quantized[zero_block] = 0.0
+        return quantized.reshape(-1)[:numel].reshape(x.shape).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # scalar path ([sign | mantissa], block-relative)
+    # ------------------------------------------------------------------
+    def real_to_format(self, value: float, block: int = 0) -> Bitstring:
+        """Encode ``value`` as it would be stored in ``block``.
+
+        The shared exponent is metadata, so the element bitstring depends on
+        which block the value lives in — scalar calls therefore take the block
+        index (default 0, i.e. whole-tensor sharing).
+        """
+        granularity = self._granularity(block)
+        sign = 1 if float(value) < 0 else 0
+        mant = int(np.clip(np.round(abs(float(value)) / granularity), 0, self.max_mantissa))
+        return [sign] + uint_to_bits(mant, self.mantissa_bits)
+
+    def format_to_real(self, bits: Bitstring, block: int = 0) -> float:
+        validate_bits(bits, self.bit_width)
+        sign = -1.0 if bits[0] else 1.0
+        mant = bits_to_uint(bits[1:])
+        return float(sign * mant * self._granularity(block))
+
+    # ------------------------------------------------------------------
+    # metadata registers (one exponent register per block)
+    # ------------------------------------------------------------------
+    def num_metadata_registers(self) -> int:
+        if self.metadata is None:
+            return 0
+        return len(self.metadata.exp_fields)
+
+    def metadata_register_width(self) -> int:
+        return self.exp_bits
+
+    def get_metadata_bits(self, register: int = 0) -> Bitstring:
+        meta = self._require_metadata()
+        if not 0 <= register < len(meta.exp_fields):
+            raise IndexError(f"block {register} out of range ({len(meta.exp_fields)} blocks)")
+        return uint_to_bits(int(meta.exp_fields[register]), self.exp_bits)
+
+    def set_metadata_bits(self, bits: Bitstring, register: int = 0) -> None:
+        meta = self._require_metadata()
+        validate_bits(bits, self.exp_bits)
+        if not 0 <= register < len(meta.exp_fields):
+            raise IndexError(f"block {register} out of range ({len(meta.exp_fields)} blocks)")
+        meta.exp_fields[register] = bits_to_uint(bits)
+
+    def apply_metadata_corruption(self, tensor: np.ndarray,
+                                  original_metadata: BfpMetadata) -> np.ndarray:
+        """Rescale each block by ``2^(E_new - E_old)``.
+
+        A flipped shared-exponent bit is *read by every element of the block*,
+        so in value space the whole block shifts by a power of two — a single
+        metadata flip behaving as a tensor-wide multi-bit flip (§II-B).
+        """
+        if original_metadata is None:
+            raise MetadataError("original metadata required")
+        meta = self._require_metadata()
+        x = np.asarray(tensor, dtype=np.float32)
+        delta = (meta.exp_fields - original_metadata.exp_fields).astype(np.float64)
+        flat = x.reshape(-1).astype(np.float64)
+        padded = np.zeros(len(meta.exp_fields) * meta.block_size, dtype=np.float64)
+        padded[: flat.size] = flat
+        scaled = padded.reshape(len(meta.exp_fields), meta.block_size) * np.exp2(delta)[:, None]
+        with np.errstate(over="ignore"):
+            # a large corrupted exponent may legitimately overflow FP32 to inf
+            return scaled.reshape(-1)[: flat.size].reshape(x.shape).astype(np.float32)

@@ -1,0 +1,132 @@
+"""Symmetric integer quantization INT(b) with a scale-factor metadata register.
+
+Integer quantization maps FP32 values onto ``b``-bit signed integers through
+a per-tensor *scaling factor* (§II-A).  The scale is genuine hardware state —
+a dedicated FP32 register in an accelerator — so GoldenEye exposes it as
+injectable metadata: flipping a bit of the scale register corrupts every
+value dequantized through it.
+
+The quantization is symmetric: codes span ``[-(2^(b-1)-1), 2^(b-1)-1]``
+(the most negative two's-complement code is unused, as in TensorRT-style
+symmetric INT8), and ``scale = max|x| / (2^(b-1)-1)``.  A range may also be
+supplied up front (e.g. from a calibration profile), which the paper notes
+absolves the need for a runtime range detector (§V-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MetadataError, NumberFormat
+from .bitstring import (
+    Bitstring,
+    bits_to_float32,
+    float32_to_bits,
+    int_to_twos_complement,
+    twos_complement_to_int,
+    validate_bits,
+)
+
+__all__ = ["IntegerQuant"]
+
+
+class IntegerQuant(NumberFormat):
+    """Symmetric signed integer quantization with an FP32 scale register."""
+
+    kind = "int"
+    has_metadata = True
+    #: the scale factor is held in one IEEE-754 binary32 hardware register
+    METADATA_WIDTH = 32
+
+    def __init__(self, bits: int = 8, calibration_range: float | None = None):
+        if bits < 2:
+            raise ValueError(f"integer quantization needs >= 2 bits, got {bits}")
+        super().__init__(bit_width=bits, radix=0)
+        self.bits = int(bits)
+        self.max_code = (1 << (bits - 1)) - 1
+        if calibration_range is not None and calibration_range <= 0:
+            raise ValueError("calibration_range must be positive")
+        self.calibration_range = calibration_range
+
+    def config(self) -> dict:
+        return {"bits": self.bits, "calibration_range": self.calibration_range}
+
+    @property
+    def name(self) -> str:
+        return f"int{self.bits}"
+
+    @property
+    def scale(self) -> float:
+        """The captured scale factor (metadata of the last converted tensor)."""
+        return float(self._require_metadata())
+
+    # ------------------------------------------------------------------
+    # tensor path
+    # ------------------------------------------------------------------
+    def real_to_format_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        x = np.asarray(tensor, dtype=np.float32)
+        if self.calibration_range is not None:
+            peak = self.calibration_range
+        else:
+            # calibrate on finite values only: an upstream fault may have
+            # produced inf/NaN, which must not blow up the scale register
+            magnitude = np.where(np.isfinite(x), np.abs(x), 0.0)
+            peak = float(np.max(magnitude, initial=0.0))
+        scale = np.float32(peak / self.max_code) if peak else np.float32(0.0)
+        if scale == 0.0:
+            # all-zero tensor, or a peak so small the FP32 scale register
+            # underflows: every code is zero either way
+            self.metadata = np.float32(1.0)
+            return np.zeros_like(x)
+        self.metadata = scale
+        codes = np.round(x.astype(np.float64) / float(scale))
+        # integer pipelines carry no NaN; overflow saturates
+        codes = np.nan_to_num(codes, nan=0.0, posinf=self.max_code, neginf=-self.max_code)
+        codes = np.clip(codes, -self.max_code, self.max_code)
+        return (codes * float(scale)).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # scalar path (two's-complement integer code)
+    # ------------------------------------------------------------------
+    def real_to_format(self, value: float) -> Bitstring:
+        scale = self.scale
+        code = int(np.clip(np.round(float(value) / scale), -self.max_code, self.max_code))
+        return int_to_twos_complement(code, self.bit_width)
+
+    def format_to_real(self, bits: Bitstring) -> float:
+        validate_bits(bits, self.bit_width)
+        return float(twos_complement_to_int(bits) * self.scale)
+
+    # ------------------------------------------------------------------
+    # metadata registers
+    # ------------------------------------------------------------------
+    def num_metadata_registers(self) -> int:
+        return 1 if self.metadata is not None else 0
+
+    def metadata_register_width(self) -> int:
+        return self.METADATA_WIDTH
+
+    def get_metadata_bits(self, register: int = 0) -> Bitstring:
+        if register != 0:
+            raise IndexError("integer quantization has a single scale register")
+        return float32_to_bits(self.scale)
+
+    def set_metadata_bits(self, bits: Bitstring, register: int = 0) -> None:
+        if register != 0:
+            raise IndexError("integer quantization has a single scale register")
+        self._require_metadata()
+        self.metadata = np.float32(bits_to_float32(bits))
+
+    def apply_metadata_corruption(self, tensor: np.ndarray,
+                                  original_metadata) -> np.ndarray:
+        """Re-dequantize under the corrupted scale: ``x * scale_new / scale_old``."""
+        if original_metadata is None:
+            raise MetadataError("original metadata required")
+        old = float(original_metadata)
+        new = float(self._require_metadata())
+        if old == 0.0:
+            raise MetadataError("degenerate original scale")
+        with np.errstate(over="ignore", invalid="ignore"):
+            # a corrupted scale register may legitimately be inf/NaN-producing
+            ratio = np.float64(new / old)
+            return (np.asarray(tensor, dtype=np.float64) * ratio).astype(np.float32)

@@ -1,0 +1,79 @@
+"""Dynamic-range computation for Table I.
+
+For every format the table reports the absolute max representable value, the
+absolute min (smallest positive) representable value, and the range in dB,
+``20 * log10(max / min)``.  For integer quantization the range is computed in
+the integer code domain (min positive code = 1), since the scale factor moves
+both ends identically; the paper's "movable range" annotation for AdaptivFloat
+reflects its shared bias doing the same for the FP grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .afp import AdaptivFloat
+from .base import NumberFormat
+from .bfp import BlockFloatingPoint
+from .fp import FloatingPoint
+from .fxp import FixedPoint
+from .intq import IntegerQuant
+from .posit import Posit
+
+__all__ = ["DynamicRange", "dynamic_range"]
+
+
+@dataclass(frozen=True)
+class DynamicRange:
+    """Absolute max / smallest positive value and the ratio in decibels."""
+
+    format_name: str
+    max_value: float
+    min_positive: float
+    db: float
+    movable: bool = False
+
+    def row(self) -> tuple[str, str, str, str]:
+        """Render as a Table I row (matching the paper's formatting)."""
+        db_text = f"{self.db:.2f}" + (" (movable range)" if self.movable else "")
+        return (self.format_name, f"{self.max_value:.3g}", f"{self.min_positive:.3g}", db_text)
+
+
+def _db(max_value: float, min_positive: float) -> float:
+    return 20.0 * math.log10(max_value / min_positive)
+
+
+def dynamic_range(fmt: NumberFormat) -> DynamicRange:
+    """Compute the Table I dynamic range entry for ``fmt``."""
+    if isinstance(fmt, FloatingPoint):
+        min_positive = fmt.min_denormal if fmt.denormals else fmt.min_normal
+        return DynamicRange(fmt.name, fmt.max_value, min_positive,
+                            _db(fmt.max_value, min_positive))
+    if isinstance(fmt, AdaptivFloat):
+        # Report the window at bias 0 alignment (max exponent = 2^e - 1 - bias);
+        # the absolute placement is movable, the ratio is not.
+        bias = 0
+        max_value = fmt.max_value_for_bias(bias)
+        min_normal = fmt.min_normal_for_bias(bias)
+        min_positive = (min_normal * 2.0 ** -fmt.mantissa_bits) if fmt.denormals else min_normal
+        return DynamicRange(fmt.name, max_value, min_positive,
+                            _db(max_value, min_positive), movable=True)
+    if isinstance(fmt, FixedPoint):
+        return DynamicRange(fmt.name, fmt.max_value, fmt.min_positive,
+                            _db(fmt.max_value, fmt.min_positive))
+    if isinstance(fmt, IntegerQuant):
+        # integer code domain: max code vs the smallest nonzero code (1)
+        return DynamicRange(fmt.name, float(fmt.max_code), 1.0,
+                            _db(float(fmt.max_code), 1.0), movable=True)
+    if isinstance(fmt, Posit):
+        return DynamicRange(fmt.name, fmt.maxpos, fmt.minpos,
+                            _db(fmt.maxpos, fmt.minpos))
+    if isinstance(fmt, BlockFloatingPoint):
+        # within one block: largest vs smallest nonzero mantissa step, with the
+        # shared exponent window on top (movable per block)
+        max_value = float(fmt.max_mantissa)
+        min_positive = 1.0
+        return DynamicRange(fmt.name, max_value, min_positive,
+                            _db(max_value, min_positive), movable=True)
+    raise TypeError(f"no dynamic-range rule for format {fmt!r}")

@@ -1,0 +1,92 @@
+"""Named number-format registry and spec-string parser.
+
+Mirrors GoldenEye's command-line hyperparameter interface: a format is either
+a well-known name (``"fp16"``, ``"bfloat16"``, ``"int8"``) or a spec string
+with explicit knobs (``"fp_e2m5"``, ``"fxp_1_4_4"``, ``"bfp_e5m5_b16"``,
+``"afp_e5m2"``).  Append ``"_nodn"`` to a floating spec to disable denormals.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from .afp import AdaptivFloat
+from .base import NumberFormat
+from .bfp import BlockFloatingPoint
+from .fp import FloatingPoint
+from .fxp import FixedPoint
+from .intq import IntegerQuant
+from .posit import Posit
+
+__all__ = ["NAMED_FORMATS", "make_format", "available_formats", "register_format"]
+
+# The "named" floating point formats from §II-A / §III-A.
+NAMED_FORMATS: dict[str, Callable[[], NumberFormat]] = {
+    "fp32": lambda: FloatingPoint(8, 23),
+    "fp16": lambda: FloatingPoint(5, 10),
+    "half": lambda: FloatingPoint(5, 10),
+    "bfloat16": lambda: FloatingPoint(8, 7),
+    "tensorfloat32": lambda: FloatingPoint(8, 10),
+    "dlfloat16": lambda: FloatingPoint(6, 9),
+    "fp8": lambda: FloatingPoint(4, 3),
+    "int8": lambda: IntegerQuant(8),
+    "int16": lambda: IntegerQuant(16),
+    "int4": lambda: IntegerQuant(4),
+    "fxp32": lambda: FixedPoint(15, 16),
+    "fxp16": lambda: FixedPoint(7, 8),
+    "bfp16": lambda: BlockFloatingPoint(8, 7, block_size=None),
+    "afp8": lambda: AdaptivFloat(4, 3),
+    "posit8": lambda: Posit(8, 1),
+    "posit16": lambda: Posit(16, 1),
+}
+
+_FP_RE = re.compile(r"^fp_e(\d+)m(\d+)(_nodn)?$")
+_AFP_RE = re.compile(r"^afp_e(\d+)m(\d+)(_nodn)?$")
+_BFP_RE = re.compile(r"^bfp_e(\d+)m(\d+)(?:_b(\d+|tensor))?$")
+_FXP_RE = re.compile(r"^fxp_1_(\d+)_(\d+)$")
+_INT_RE = re.compile(r"^int(\d+)$")
+_POSIT_RE = re.compile(r"^posit_(\d+)_(\d+)$")
+
+
+def register_format(name: str, factory: Callable[[], NumberFormat]) -> None:
+    """Add a custom named format (the extension point for new number systems)."""
+    if name in NAMED_FORMATS:
+        raise ValueError(f"format name {name!r} is already registered")
+    NAMED_FORMATS[name] = factory
+
+
+def available_formats() -> list[str]:
+    """Sorted names of every registered named format."""
+    return sorted(NAMED_FORMATS)
+
+
+def make_format(spec: str | NumberFormat) -> NumberFormat:
+    """Build a fresh :class:`NumberFormat` from a name, spec string, or instance."""
+    if isinstance(spec, NumberFormat):
+        return spec.spawn()
+    key = spec.strip().lower()
+    if key in NAMED_FORMATS:
+        return NAMED_FORMATS[key]()
+    if match := _FP_RE.match(key):
+        e, m, nodn = match.groups()
+        return FloatingPoint(int(e), int(m), denormals=nodn is None)
+    if match := _AFP_RE.match(key):
+        e, m, nodn = match.groups()
+        return AdaptivFloat(int(e), int(m), denormals=nodn is None)
+    if match := _BFP_RE.match(key):
+        e, m, block = match.groups()
+        block_size = None if block in (None, "tensor") else int(block)
+        return BlockFloatingPoint(int(e), int(m), block_size=block_size)
+    if match := _FXP_RE.match(key):
+        i, f = match.groups()
+        return FixedPoint(int(i), int(f))
+    if match := _INT_RE.match(key):
+        return IntegerQuant(int(match.group(1)))
+    if match := _POSIT_RE.match(key):
+        n, es = match.groups()
+        return Posit(int(n), int(es))
+    raise ValueError(
+        f"unrecognized format spec {spec!r}; use a name ({', '.join(available_formats())}) "
+        "or a spec like fp_e2m5 / fxp_1_4_4 / int8 / bfp_e5m5_b16 / afp_e5m2 / posit_8_1"
+    )

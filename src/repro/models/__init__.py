@@ -1,0 +1,32 @@
+"""``repro.models`` — model zoo: ResNet CNNs, DeiT transformers, small nets."""
+
+from .deit import VisionTransformer, deit_base, deit_tiny
+from .mobilenet import DepthwiseSeparableBlock, MobileNet, mobilenet_small
+from .registry import MODEL_REGISTRY, available_models, create_model, register_model
+from .resnet import BasicBlock, Bottleneck, ResNet, resnet18, resnet50
+from .simple import SimpleCNN, SimpleMLP, simple_cnn, simple_mlp
+from .vgg import VGG, vgg11
+
+__all__ = [
+    "VisionTransformer",
+    "deit_tiny",
+    "deit_base",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18",
+    "resnet50",
+    "SimpleMLP",
+    "SimpleCNN",
+    "simple_mlp",
+    "simple_cnn",
+    "VGG",
+    "vgg11",
+    "MobileNet",
+    "DepthwiseSeparableBlock",
+    "mobilenet_small",
+    "MODEL_REGISTRY",
+    "create_model",
+    "register_model",
+    "available_models",
+]

@@ -1,0 +1,72 @@
+"""DeiT-style vision transformers (scaled to 32x32 synthetic inputs).
+
+The paper contrasts CNNs with DeiT-tiny / DeiT-base transformers.  We keep the
+DeiT recipe — conv patch embedding, class token, learned position embeddings,
+pre-norm encoder blocks, linear head — at widths/depths sized for numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Parameter, Tensor
+
+__all__ = ["VisionTransformer", "deit_tiny", "deit_base"]
+
+
+class VisionTransformer(nn.Module):
+    """ViT/DeiT classifier over NCHW images."""
+
+    def __init__(
+        self,
+        image_size: int = 32,
+        patch_size: int = 8,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        dim: int = 64,
+        depth: int = 4,
+        num_heads: int = 4,
+        mlp_ratio: float = 2.0,
+        seed: int = 0,
+    ):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError(f"image size {image_size} not divisible by patch size {patch_size}")
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.num_patches = (image_size // patch_size) ** 2
+        self.patch_embed = nn.Conv2d(in_channels, dim, patch_size, stride=patch_size, rng=rng)
+        self.cls_token = Parameter(nn.init.normal((1, 1, dim), std=0.02, rng=rng))
+        self.pos_embed = Parameter(
+            nn.init.normal((1, self.num_patches + 1, dim), std=0.02, rng=rng)
+        )
+        self.blocks = nn.ModuleList(
+            [nn.TransformerEncoderBlock(dim, num_heads, mlp_ratio=mlp_ratio, rng=rng)
+             for _ in range(depth)]
+        )
+        self.norm = nn.LayerNorm(dim)
+        self.head = nn.Linear(dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b = x.shape[0]
+        patches = self.patch_embed(x)  # (B, D, H/P, W/P)
+        tokens = patches.flatten(2).swapaxes(1, 2)  # (B, N, D)
+        cls = self.cls_token + nn.zeros(b, 1, self.dim)  # broadcast to batch
+        tokens = nn.cat([cls, tokens], axis=1) + self.pos_embed
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.norm(tokens)
+        return self.head(tokens[:, 0])
+
+
+def deit_tiny(num_classes: int = 10, image_size: int = 32, seed: int = 0) -> VisionTransformer:
+    """Scaled DeiT-tiny analogue (narrow, shallow)."""
+    return VisionTransformer(image_size=image_size, patch_size=8, num_classes=num_classes,
+                             dim=64, depth=4, num_heads=4, mlp_ratio=2.0, seed=seed)
+
+
+def deit_base(num_classes: int = 10, image_size: int = 32, seed: int = 0) -> VisionTransformer:
+    """Scaled DeiT-base analogue (wider, deeper than tiny)."""
+    return VisionTransformer(image_size=image_size, patch_size=8, num_classes=num_classes,
+                             dim=128, depth=6, num_heads=8, mlp_ratio=2.0, seed=seed)

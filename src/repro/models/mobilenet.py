@@ -1,0 +1,67 @@
+"""MobileNet-style depthwise-separable CNN (scaled for 32x32 inputs).
+
+Depthwise-separable convolutions are the dominant pattern in edge-deployed
+CNNs — exactly the accelerator class the paper's co-design story targets —
+and their activation statistics differ markedly from plain/residual CNNs,
+which makes them a useful extra point in format sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["DepthwiseSeparableBlock", "MobileNet", "mobilenet_small"]
+
+
+class DepthwiseSeparableBlock(nn.Module):
+    """3x3 depthwise conv + BN + ReLU, then 1x1 pointwise conv + BN + ReLU."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.depthwise = nn.Conv2d(in_channels, in_channels, 3, stride=stride,
+                                   padding=1, groups=in_channels, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(in_channels)
+        self.pointwise = nn.Conv2d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = F.relu(self.bn1(self.depthwise(x)))
+        return F.relu(self.bn2(self.pointwise(x)))
+
+
+class MobileNet(nn.Module):
+    """Stem conv followed by depthwise-separable blocks."""
+
+    #: (out_channels, stride) per block
+    DEFAULT_CFG = ((16, 1), (32, 2), (32, 1), (64, 2), (64, 1))
+
+    def __init__(self, cfg=DEFAULT_CFG, num_classes: int = 10, in_channels: int = 3,
+                 base_width: int = 8, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = nn.Conv2d(in_channels, base_width, 3, stride=1, padding=1,
+                              bias=False, rng=rng)
+        self.bn = nn.BatchNorm2d(base_width)
+        blocks = []
+        channels = base_width
+        for out_channels, stride in cfg:
+            blocks.append(DepthwiseSeparableBlock(channels, out_channels,
+                                                  stride=stride, rng=rng))
+            channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = F.relu(self.bn(self.stem(x)))
+        x = self.blocks(x)
+        return self.fc(self.pool(x).flatten(1))
+
+
+def mobilenet_small(num_classes: int = 10, seed: int = 0) -> MobileNet:
+    """Scaled MobileNet analogue."""
+    return MobileNet(num_classes=num_classes, seed=seed)

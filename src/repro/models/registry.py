@@ -1,0 +1,48 @@
+"""By-name model factory, mirroring GoldenEye's command-line model selection."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..nn.module import Module
+from .deit import deit_base, deit_tiny
+from .mobilenet import mobilenet_small
+from .resnet import resnet18, resnet50
+from .simple import simple_cnn, simple_mlp
+from .vgg import vgg11
+
+__all__ = ["MODEL_REGISTRY", "create_model", "available_models", "register_model"]
+
+MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
+    "resnet18": resnet18,
+    "resnet50": resnet50,
+    "deit_tiny": deit_tiny,
+    "deit_base": deit_base,
+    "simple_mlp": simple_mlp,
+    "simple_cnn": simple_cnn,
+    "vgg11": vgg11,
+    "mobilenet_small": mobilenet_small,
+}
+
+
+def register_model(name: str, factory: Callable[..., Module]) -> None:
+    """Register a custom model factory under ``name`` (must be unused)."""
+    if name in MODEL_REGISTRY:
+        raise ValueError(f"model name {name!r} is already registered")
+    MODEL_REGISTRY[name] = factory
+
+
+def available_models() -> list[str]:
+    """Sorted names of every registered model factory."""
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    return factory(**kwargs)

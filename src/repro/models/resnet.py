@@ -1,0 +1,133 @@
+"""ResNet-family CNNs (scaled to 32x32 synthetic inputs).
+
+These mirror the two CNNs used in the paper's case studies — ResNet18
+(BasicBlock) and ResNet50 (Bottleneck) — in CIFAR-style proportions so that
+pure-numpy inference stays fast.  The architecture skeleton (stem conv →
+4 residual stages with stride-2 downsampling → global average pool → linear
+classifier) matches He et al., so layer-wise resilience profiles have the same
+structure: early wide-activation convs, deep narrow convs, and a final FC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["BasicBlock", "Bottleneck", "ResNet", "resnet18", "resnet50"]
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with an identity (or projected) shortcut."""
+
+    expansion = 1
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(planes)
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_planes, planes * self.expansion, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return F.relu(out + self.shortcut(x))
+
+
+class Bottleneck(nn.Module):
+    """1x1 → 3x3 → 1x1 bottleneck block (the ResNet50 building block)."""
+
+    expansion = 4
+
+    def __init__(self, in_planes: int, planes: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_planes, planes, 1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = nn.Conv2d(planes, planes, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.conv3 = nn.Conv2d(planes, planes * self.expansion, 1, bias=False, rng=rng)
+        self.bn3 = nn.BatchNorm2d(planes * self.expansion)
+        if stride != 1 or in_planes != planes * self.expansion:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_planes, planes * self.expansion, 1, stride=stride, bias=False, rng=rng),
+                nn.BatchNorm2d(planes * self.expansion),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = F.relu(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        return F.relu(out + self.shortcut(x))
+
+
+class ResNet(nn.Module):
+    """CIFAR-proportioned ResNet over NCHW inputs."""
+
+    def __init__(
+        self,
+        block: type,
+        layers: list[int],
+        num_classes: int = 10,
+        base_width: int = 16,
+        in_channels: int = 3,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.in_planes = base_width
+        self.conv1 = nn.Conv2d(in_channels, base_width, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(base_width)
+        self.layer1 = self._make_stage(block, base_width, layers[0], stride=1, rng=rng)
+        self.layer2 = self._make_stage(block, base_width * 2, layers[1], stride=2, rng=rng)
+        self.layer3 = self._make_stage(block, base_width * 4, layers[2], stride=2, rng=rng)
+        if len(layers) > 3:
+            self.layer4 = self._make_stage(block, base_width * 8, layers[3], stride=2, rng=rng)
+            final_planes = base_width * 8 * block.expansion
+        else:
+            self.layer4 = nn.Identity()
+            final_planes = base_width * 4 * block.expansion
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.fc = nn.Linear(final_planes, num_classes, rng=rng)
+
+    def _make_stage(self, block: type, planes: int, blocks: int, stride: int,
+                    rng: np.random.Generator) -> nn.Sequential:
+        strides = [stride] + [1] * (blocks - 1)
+        stage = nn.Sequential()
+        for s in strides:
+            stage.append(block(self.in_planes, planes, stride=s, rng=rng))
+            self.in_planes = planes * block.expansion
+        return stage
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.layer1(out)
+        out = self.layer2(out)
+        out = self.layer3(out)
+        out = self.layer4(out)
+        out = self.pool(out).flatten(1)
+        return self.fc(out)
+
+
+def resnet18(num_classes: int = 10, base_width: int = 16, seed: int = 0) -> ResNet:
+    """Scaled ResNet18 analogue: BasicBlocks, [2, 2, 2] stages."""
+    return ResNet(BasicBlock, [2, 2, 2], num_classes=num_classes,
+                  base_width=base_width, seed=seed)
+
+
+def resnet50(num_classes: int = 10, base_width: int = 16, seed: int = 0) -> ResNet:
+    """Scaled ResNet50 analogue: Bottleneck blocks, [2, 3, 2] stages."""
+    return ResNet(Bottleneck, [2, 3, 2], num_classes=num_classes,
+                  base_width=base_width, seed=seed)

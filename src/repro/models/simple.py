@@ -1,0 +1,62 @@
+"""Small reference models for fast tests and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["SimpleMLP", "SimpleCNN", "simple_mlp", "simple_cnn"]
+
+
+class SimpleMLP(nn.Module):
+    """Two-hidden-layer MLP over flattened images."""
+
+    def __init__(self, in_features: int = 3 * 32 * 32, hidden: int = 64,
+                 num_classes: int = 10, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.flatten = nn.Flatten(1)
+        self.fc1 = nn.Linear(in_features, hidden, rng=rng)
+        self.act1 = nn.ReLU()
+        self.fc2 = nn.Linear(hidden, hidden, rng=rng)
+        self.act2 = nn.ReLU()
+        self.fc3 = nn.Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.act1(self.fc1(self.flatten(x)))
+        h = self.act2(self.fc2(h))
+        return self.fc3(h)
+
+
+class SimpleCNN(nn.Module):
+    """Tiny two-conv CNN — the fastest model with real CONV layers."""
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10,
+                 image_size: int = 32, width: int = 8, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = nn.Conv2d(in_channels, width, 3, padding=1, rng=rng)
+        self.act1 = nn.ReLU()
+        self.pool1 = nn.MaxPool2d(2)
+        self.conv2 = nn.Conv2d(width, width * 2, 3, padding=1, rng=rng)
+        self.act2 = nn.ReLU()
+        self.pool2 = nn.MaxPool2d(2)
+        self.flatten = nn.Flatten(1)
+        feat = width * 2 * (image_size // 4) ** 2
+        self.fc = nn.Linear(feat, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        h = self.pool1(self.act1(self.conv1(x)))
+        h = self.pool2(self.act2(self.conv2(h)))
+        return self.fc(self.flatten(h))
+
+
+def simple_mlp(num_classes: int = 10, image_size: int = 32, seed: int = 0) -> SimpleMLP:
+    """Factory for :class:`SimpleMLP` sized for square RGB images."""
+    return SimpleMLP(in_features=3 * image_size * image_size, num_classes=num_classes, seed=seed)
+
+
+def simple_cnn(num_classes: int = 10, image_size: int = 32, seed: int = 0) -> SimpleCNN:
+    """Factory for :class:`SimpleCNN` (the fastest conv model in the zoo)."""
+    return SimpleCNN(num_classes=num_classes, image_size=image_size, seed=seed)

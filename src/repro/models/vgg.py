@@ -1,0 +1,51 @@
+"""VGG-style plain CNNs (no residual connections), scaled for 32x32 inputs.
+
+Included to widen the model-zoo axis of Fig. 3/4-style comparisons: a plain
+feedforward CNN reacts differently to number formats than residual networks,
+because activations grow monotonically with depth (no identity paths pulling
+magnitudes back).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["VGG", "vgg11"]
+
+#: stage configuration: channel width or "M" for max-pool
+_VGG11_CFG = (16, "M", 32, "M", 64, 64, "M", 128, 128, "M")
+
+
+class VGG(nn.Module):
+    """Plain conv-pool stack with a small classifier head."""
+
+    def __init__(self, cfg=_VGG11_CFG, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[nn.Module] = []
+        channels = in_channels
+        downsamples = 0
+        for item in cfg:
+            if item == "M":
+                layers.append(nn.MaxPool2d(2))
+                downsamples += 1
+            else:
+                layers.append(nn.Conv2d(channels, item, 3, padding=1, rng=rng))
+                layers.append(nn.BatchNorm2d(item))
+                layers.append(nn.ReLU())
+                channels = item
+        self.features = nn.Sequential(*layers)
+        final = image_size // (2 ** downsamples)
+        self.flatten = nn.Flatten(1)
+        self.classifier = nn.Linear(channels * final * final, num_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        return self.classifier(self.flatten(self.features(x)))
+
+
+def vgg11(num_classes: int = 10, image_size: int = 32, seed: int = 0) -> VGG:
+    """Scaled VGG11 analogue."""
+    return VGG(num_classes=num_classes, image_size=image_size, seed=seed)

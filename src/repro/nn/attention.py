@@ -1,0 +1,78 @@
+"""Multi-head self-attention and transformer encoder blocks (DeiT substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Dropout, GELU, LayerNorm, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["MultiHeadSelfAttention", "TransformerMLP", "TransformerEncoderBlock"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention.
+
+    The QKV projection is a single fused :class:`Linear` (as in timm's ViT),
+    which means GoldenEye instruments it like any other LINEAR layer.
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / np.sqrt(self.head_dim)
+        self.qkv = Linear(dim, dim * 3, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, n, d = x.shape
+        qkv = self.qkv(x)  # (B, N, 3D)
+        qkv = qkv.reshape(b, n, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, N, hd)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        attn = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, H, N, N)
+        attn = F.softmax(attn, axis=-1)
+        out = attn @ v  # (B, H, N, hd)
+        out = out.transpose(0, 2, 1, 3).reshape(b, n, d)
+        return self.proj(out)
+
+    def __repr__(self) -> str:
+        return f"MultiHeadSelfAttention(dim={self.dim}, heads={self.num_heads})"
+
+
+class TransformerMLP(Module):
+    """Position-wise feed-forward network with GELU."""
+
+    def __init__(self, dim: int, hidden_dim: int, dropout: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.fc1 = Linear(dim, hidden_dim, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(hidden_dim, dim, rng=rng)
+        self.drop = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.drop(self.fc2(self.act(self.fc1(x))))
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm transformer encoder block (ViT/DeiT style)."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = TransformerMLP(dim, int(dim * mlp_ratio), dropout=dropout, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x

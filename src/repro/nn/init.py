@@ -1,0 +1,61 @@
+"""Weight initialization helpers (Kaiming/Xavier families)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "kaiming_normal", "xavier_uniform", "uniform", "normal", "zeros"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 2:  # linear: (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_uniform(shape, a: float = np.sqrt(5.0), rng: np.random.Generator | None = None) -> np.ndarray:
+    """He-uniform init matching PyTorch's default for Linear/Conv layers."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(tuple(shape))
+    gain = np.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """He-normal init: std = sqrt(2 / fan_in)."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot-uniform init: bound = sqrt(6 / (fan_in + fan_out))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform(shape, low: float, high: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform init in [low, high)."""
+    rng = rng or np.random.default_rng()
+    return rng.uniform(low, high, size=shape).astype(np.float32)
+
+
+def normal(shape, mean: float = 0.0, std: float = 1.0,
+           rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gaussian init with the given mean and std."""
+    rng = rng or np.random.default_rng()
+    return (rng.standard_normal(shape) * std + mean).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros float32 array."""
+    return np.zeros(shape, dtype=np.float32)

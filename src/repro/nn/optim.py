@@ -1,0 +1,87 @@
+"""Optimizers for training models on the substrate (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter` objects."""
+
+    def __init__(self, params, lr: float):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                self._velocity[i] = self.momentum * self._velocity[i] + grad
+                grad = self._velocity[i]
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        with np.errstate(over="ignore", invalid="ignore"):
+            # extreme gradients (e.g. injected faults) may overflow the second
+            # moment to inf; the normalized update then degrades gracefully
+            for i, p in enumerate(self.params):
+                if p.grad is None:
+                    continue
+                grad = p.grad
+                if self.weight_decay:
+                    grad = grad + self.weight_decay * p.data
+                self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+                self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad * grad
+                m_hat = self._m[i] / bias1
+                v_hat = self._v[i] / bias2
+                update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                p.data -= np.nan_to_num(update, nan=0.0, posinf=0.0, neginf=0.0)

@@ -1,0 +1,34 @@
+"""Save and load model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_model", "load_model"]
+
+
+def save_state_dict(state: dict, path: str | os.PathLike) -> None:
+    """Write a ``name -> array`` mapping to ``path`` (npz, uncompressed)."""
+    np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state_dict(path: str | os.PathLike) -> "OrderedDict[str, np.ndarray]":
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return OrderedDict((k, archive[k]) for k in archive.files)
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write ``model``'s state dict to ``path`` (npz)."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str | os.PathLike, strict: bool = True) -> Module:
+    """Load a state dict from ``path`` into ``model`` and return it."""
+    model.load_state_dict(load_state_dict(path), strict=strict)
+    return model

@@ -1,0 +1,44 @@
+"""Numeric gradient checking helper for the autograd tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``fn`` (scalar-valued) w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = float(fn().data)
+        flat[i] = original - eps
+        f_minus = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def assert_gradcheck(make_output, tensors: list[Tensor], atol: float = 1e-6,
+                     rtol: float = 1e-4) -> None:
+    """Compare autograd gradients of ``make_output()`` against numeric ones.
+
+    ``tensors`` must be float64 leaves with ``requires_grad=True``.
+    """
+    for t in tensors:
+        assert t.data.dtype == np.float64, "gradcheck requires float64 tensors"
+        t.grad = None
+    out = make_output()
+    assert out.data.size == 1, "gradcheck expects a scalar output"
+    out.backward()
+    for i, t in enumerate(tensors):
+        expected = numeric_gradient(make_output, t)
+        assert t.grad is not None, f"tensor {i} received no gradient"
+        np.testing.assert_allclose(
+            t.grad, expected, atol=atol, rtol=rtol,
+            err_msg=f"analytic/numeric gradient mismatch for tensor {i}",
+        )

@@ -1,0 +1,148 @@
+"""Tests for the analysis layer (resilience profiles, tradeoff studies, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    TradeoffPoint,
+    explore_tradeoff,
+    format_float,
+    layer_vulnerability_table,
+    profile_resilience,
+    render_series,
+    render_table,
+)
+from repro.models import simple_cnn
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, image_size=8, seed=0)
+
+
+@pytest.fixture
+def data(rng):
+    return (rng.standard_normal((8, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 4, size=8))
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "value"], [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_render_table_title(self):
+        text = render_table(["h"], [("x",)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_render_series(self):
+        text = render_series("acc-vs-bits", [(32, 0.9), (16, 0.85)],
+                             x_label="bits", y_label="accuracy")
+        assert "acc-vs-bits" in text
+        assert "32: 0.9" in text
+
+    def test_format_float(self):
+        assert format_float(0) == "0"
+        assert "e" in format_float(1e-9)
+        assert "e" in format_float(3.2e38)
+        assert format_float(0.5) == "0.5"
+
+
+class TestResilienceProfile:
+    def test_profile_with_metadata_format(self, model, data):
+        profile = profile_resilience(model, "cnn", "int8", *data,
+                                     injections_per_layer=4, seed=0)
+        assert profile.metadata_campaign is not None
+        assert len(profile.value_delta_losses()) == 3
+        assert len(profile.metadata_delta_losses()) == 3
+        assert profile.network_value_delta_loss() >= 0
+
+    def test_profile_without_metadata_format(self, model, data):
+        profile = profile_resilience(model, "cnn", "fp16", *data,
+                                     injections_per_layer=4, seed=0)
+        assert profile.metadata_campaign is None
+        assert profile.metadata_delta_losses() == []
+        assert profile.network_metadata_delta_loss() == 0.0
+
+    def test_combined_delta_loss_averages(self, model, data):
+        profile = profile_resilience(model, "cnn", "int8", *data,
+                                     injections_per_layer=4, seed=0)
+        expected = np.mean([profile.network_value_delta_loss(),
+                            profile.network_metadata_delta_loss()])
+        assert profile.combined_delta_loss() == pytest.approx(expected)
+
+    def test_vulnerability_table_renders(self, model, data):
+        profile = profile_resilience(model, "cnn", "bfp_e5m5_b16", *data,
+                                     injections_per_layer=3, seed=0)
+        text = layer_vulnerability_table(profile)
+        assert "conv1" in text and "ΔLoss" in text
+
+    def test_vulnerability_table_without_metadata(self, model, data):
+        profile = profile_resilience(model, "cnn", "fxp_1_4_4", *data,
+                                     injections_per_layer=3, seed=0)
+        assert "n/a" in layer_vulnerability_table(profile)
+
+    def test_model_restored_after_profile(self, model, data):
+        before = model.conv1.weight.data.copy()
+        profile_resilience(model, "cnn", "int8", *data, injections_per_layer=2)
+        np.testing.assert_array_equal(model.conv1.weight.data, before)
+
+
+class TestTradeoff:
+    def test_explore_tradeoff_produces_points(self, model, data):
+        study = explore_tradeoff(model, "cnn", *data, families=("afp",),
+                                 threshold=0.3, injections_per_layer=2,
+                                 max_points_per_family=2, campaign_samples=4)
+        assert study.model_name == "cnn"
+        assert "afp" in study.dse_results
+        for point in study.points:
+            assert point.family == "afp"
+            assert point.bitwidth >= 4
+            assert 0 <= point.accuracy <= 1
+
+    def test_tradeoff_table_renders(self, model, data):
+        study = explore_tradeoff(model, "cnn", *data, families=("afp",),
+                                 threshold=0.3, injections_per_layer=2,
+                                 max_points_per_family=1, campaign_samples=4)
+        text = study.table()
+        assert "tradeoff" in text
+
+    def test_pareto_front_subset_and_nondominated(self):
+        points = [
+            TradeoffPoint("a", "fp", 8, 0.9, 0.1, 0.1),
+            TradeoffPoint("b", "fp", 8, 0.8, 0.2, 0.2),  # dominated by a
+            TradeoffPoint("c", "fp", 4, 0.7, 0.3, 0.3),  # fewer bits: kept
+        ]
+        from repro.analysis import TradeoffStudy
+        study = TradeoffStudy("m", 0.95, points, {})
+        front = study.pareto_front()
+        names = {p.format_name for p in front}
+        assert names == {"a", "c"}
+
+    def test_combined_delta_loss_property(self):
+        p = TradeoffPoint("x", "fp", 8, 0.9, 0.2, 0.4)
+        assert p.combined_delta_loss == pytest.approx(0.3)
+
+
+class TestDetectorEnabledProfile:
+    def test_use_range_detector_builds_and_activates(self, model, data):
+        profile = profile_resilience(model, "cnn", "bfp_e5m5", *data,
+                                     injections_per_layer=3, seed=0,
+                                     use_range_detector=True)
+        assert profile.metadata_campaign is not None
+
+    def test_detector_bounds_metadata_delta_loss(self, trained_model, val_data):
+        images, labels = val_data
+        x, y = images[:12], labels[:12]
+        unprotected = profile_resilience(trained_model, "cnn", "afp_e5m2",
+                                         x, y, injections_per_layer=8, seed=0)
+        protected = profile_resilience(trained_model, "cnn", "afp_e5m2",
+                                       x, y, injections_per_layer=8, seed=0,
+                                       use_range_detector=True)
+        assert (protected.network_metadata_delta_loss()
+                <= unprotected.network_metadata_delta_loss())

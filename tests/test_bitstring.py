@@ -1,0 +1,106 @@
+"""Unit + property tests for the bitstring helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.formats import bitstring as bs
+
+
+class TestValidation:
+    def test_validate_accepts_bits(self):
+        bs.validate_bits([0, 1, 0])
+
+    def test_validate_rejects_non_bits(self):
+        with pytest.raises(ValueError, match="only 0/1"):
+            bs.validate_bits([0, 2])
+
+    def test_validate_width(self):
+        with pytest.raises(ValueError, match="8-bit"):
+            bs.validate_bits([0, 1], width=8)
+
+
+class TestFlip:
+    def test_flip_is_out_of_place(self):
+        original = [0, 0, 0]
+        flipped = bs.flip_bit(original, 1)
+        assert flipped == [0, 1, 0]
+        assert original == [0, 0, 0]
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(IndexError):
+            bs.flip_bit([0, 1], 2)
+        with pytest.raises(IndexError):
+            bs.flip_bit([0, 1], -1)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=64), st.data())
+    def test_double_flip_is_identity(self, bits, data):
+        pos = data.draw(st.integers(0, len(bits) - 1))
+        assert bs.flip_bit(bs.flip_bit(bits, pos), pos) == bits
+
+
+class TestUint:
+    def test_known_values(self):
+        assert bs.bits_to_uint([1, 0, 1]) == 5
+        assert bs.uint_to_bits(5, 3) == [1, 0, 1]
+        assert bs.uint_to_bits(0, 4) == [0, 0, 0, 0]
+
+    def test_uint_overflow(self):
+        with pytest.raises(ValueError, match="fit"):
+            bs.uint_to_bits(8, 3)
+
+    def test_uint_negative(self):
+        with pytest.raises(ValueError, match="unsigned"):
+            bs.uint_to_bits(-1, 3)
+
+    @given(st.integers(1, 32), st.data())
+    def test_roundtrip(self, width, data):
+        value = data.draw(st.integers(0, 2 ** width - 1))
+        assert bs.bits_to_uint(bs.uint_to_bits(value, width)) == value
+
+
+class TestTwosComplement:
+    def test_known_values(self):
+        assert bs.int_to_twos_complement(-1, 4) == [1, 1, 1, 1]
+        assert bs.int_to_twos_complement(-8, 4) == [1, 0, 0, 0]
+        assert bs.int_to_twos_complement(7, 4) == [0, 1, 1, 1]
+        assert bs.twos_complement_to_int([1, 0, 0, 0]) == -8
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            bs.int_to_twos_complement(8, 4)
+        with pytest.raises(ValueError, match="range"):
+            bs.int_to_twos_complement(-9, 4)
+
+    @given(st.integers(2, 32), st.data())
+    def test_roundtrip(self, width, data):
+        value = data.draw(st.integers(-(2 ** (width - 1)), 2 ** (width - 1) - 1))
+        assert bs.twos_complement_to_int(bs.int_to_twos_complement(value, width)) == value
+
+    def test_msb_is_sign(self):
+        assert bs.int_to_twos_complement(-3, 8)[0] == 1
+        assert bs.int_to_twos_complement(3, 8)[0] == 0
+
+
+class TestFloat32:
+    def test_one_encodes_as_ieee(self):
+        bits = bs.float32_to_bits(1.0)
+        # 0x3F800000
+        assert bits == bs.uint_to_bits(0x3F800000, 32)
+
+    def test_roundtrip_known(self):
+        for v in [0.0, 1.0, -2.5, 3.14159, 1e-30, -1e30]:
+            assert bs.bits_to_float32(bs.float32_to_bits(v)) == np.float32(v)
+
+    @given(st.floats(width=32, allow_nan=False))
+    def test_roundtrip_property(self, value):
+        assert bs.bits_to_float32(bs.float32_to_bits(value)) == np.float32(value)
+
+    def test_sign_bit_flip_negates(self):
+        bits = bs.float32_to_bits(7.5)
+        assert bs.bits_to_float32(bs.flip_bit(bits, 0)) == -7.5
+
+    def test_exponent_msb_flip_is_large(self):
+        # the classic FP32 catastrophic flip: exponent MSB of a small value
+        corrupted = bs.bits_to_float32(bs.flip_bit(bs.float32_to_bits(1.0), 1))
+        assert corrupted > 1e30

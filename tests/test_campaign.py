@@ -1,0 +1,182 @@
+"""Tests for the injection-campaign runner and the 8-site catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GoldenEye,
+    INJECTION_SITES,
+    injection_sites,
+    run_campaign,
+    site_by_name,
+)
+from repro.models import simple_cnn
+from repro.nn import Linear, Module
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, image_size=8, seed=0)
+
+
+@pytest.fixture
+def data(rng):
+    return (rng.standard_normal((8, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 4, size=8))
+
+
+class TestCampaignRunner:
+    def test_requires_attached_platform(self, model, data):
+        ge = GoldenEye(model, "fp16")
+        with pytest.raises(RuntimeError, match="attach"):
+            run_campaign(ge, *data)
+
+    def test_rejects_unknown_kind(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            with pytest.raises(ValueError, match="kind"):
+                run_campaign(ge, *data, kind="gradient")
+
+    def test_per_layer_results_cover_targets(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, injections_per_layer=5, seed=0)
+        assert set(result.per_layer) == {"conv1", "conv2", "fc"}
+        for layer_result in result.per_layer.values():
+            assert layer_result.injections == 5
+            assert len(layer_result.delta_losses) == 5
+            assert layer_result.max_delta_loss >= layer_result.mean_delta_loss
+
+    def test_deterministic_with_same_seed(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            r1 = run_campaign(ge, *data, injections_per_layer=5, seed=3)
+            r2 = run_campaign(ge, *data, injections_per_layer=5, seed=3)
+        for layer in r1.per_layer:
+            assert r1.per_layer[layer].delta_losses == r2.per_layer[layer].delta_losses
+
+    def test_different_seeds_differ(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            r1 = run_campaign(ge, *data, injections_per_layer=8, seed=0)
+            r2 = run_campaign(ge, *data, injections_per_layer=8, seed=99)
+        assert any(
+            r1.per_layer[n].delta_losses != r2.per_layer[n].delta_losses
+            for n in r1.per_layer
+        )
+
+    def test_layer_subset(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, injections_per_layer=3, layers=["fc"])
+        assert list(result.per_layer) == ["fc"]
+
+    def test_metadata_campaign_on_fp_yields_nothing(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, kind="metadata", injections_per_layer=3)
+        assert result.per_layer == {}
+
+    def test_metadata_campaign_on_int(self, model, data):
+        with GoldenEye(model, "int8") as ge:
+            result = run_campaign(ge, *data, kind="metadata", injections_per_layer=5)
+        assert set(result.per_layer) == {"conv1", "conv2", "fc"}
+
+    def test_unique_sites_exhausted_gracefully(self, data, rng):
+        # a layer with 2 outputs x 8 bits = 16 unique neuron sites; asking for
+        # 100 must stop at 16, not loop forever
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = Linear(3 * 8 * 8, 2, rng=np.random.default_rng(0))
+
+            def forward(self, x):
+                return self.fc(x.flatten(1))
+
+        images, labels = data
+        with GoldenEye(Tiny(), "int8") as ge:
+            result = run_campaign(ge, images, labels % 2,
+                                  injections_per_layer=100, seed=0)
+        assert result.per_layer["fc"].injections == 16
+
+    def test_metadata_site_space_exhaustion(self, model, data):
+        # int8 neurons: 1 register x 32 bits = 32 unique metadata sites
+        with GoldenEye(model, "int8") as ge:
+            result = run_campaign(ge, *data, kind="metadata",
+                                  injections_per_layer=1000, layers=["fc"])
+        assert result.per_layer["fc"].injections == 32
+
+    def test_weight_location_campaign(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, location="weight",
+                                  injections_per_layer=4, seed=0)
+        assert result.location == "weight"
+        assert all(r.injections == 4 for r in result.per_layer.values())
+
+    def test_golden_accuracy_recorded(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, injections_per_layer=2)
+        assert 0.0 <= result.golden_accuracy <= 1.0
+
+    def test_aggregates(self, model, data):
+        with GoldenEye(model, "int8") as ge:
+            result = run_campaign(ge, *data, injections_per_layer=4)
+        assert result.mean_delta_loss() == pytest.approx(
+            np.mean([r.mean_delta_loss for r in result.per_layer.values()]))
+        assert 0.0 <= result.mean_mismatch_rate() <= 1.0
+
+    def test_model_state_unchanged_after_campaign(self, model, data):
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        with GoldenEye(model, "bfp_e5m5_b16") as ge:
+            run_campaign(ge, *data, injections_per_layer=3, seed=0)
+            run_campaign(ge, *data, kind="metadata", injections_per_layer=3, seed=0)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestSiteCatalogue:
+    def test_exactly_eight_sites(self):
+        assert len(INJECTION_SITES) == 8
+
+    def test_five_value_sites(self):
+        value_sites = injection_sites("value")
+        assert len(value_sites) == 5
+        kinds = {s.make_format().kind for s in value_sites}
+        assert kinds == {"fp", "fxp", "int", "bfp", "afp"}
+
+    def test_three_metadata_sites(self):
+        meta_sites = injection_sites("metadata")
+        assert len(meta_sites) == 3
+        assert all(s.make_format().has_metadata for s in meta_sites)
+
+    def test_kind_filter_validation(self):
+        with pytest.raises(ValueError, match="value.*metadata"):
+            injection_sites("gradient")
+
+    def test_site_by_name(self):
+        site = site_by_name("bfp-metadata")
+        assert site.kind == "metadata"
+        with pytest.raises(KeyError, match="unknown"):
+            site_by_name("dram-ecc")
+
+    def test_sites_have_descriptions(self):
+        assert all(len(s.description) > 20 for s in INJECTION_SITES)
+
+    def test_site_formats_instantiate(self):
+        for site in INJECTION_SITES:
+            fmt = site.make_format()
+            assert fmt.bit_width >= 2
+
+
+class TestMultiBitCampaign:
+    def test_num_bits_respected(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, *data, injections_per_layer=4,
+                                  num_bits=3, seed=0)
+        assert all(r.injections == 4 for r in result.per_layer.values())
+
+    def test_multibit_at_least_as_damaging_on_average(self, model, data):
+        # flipping 4 bits of a 16-bit word is (statistically) no gentler
+        # than flipping 1; compare with matched seeds
+        with GoldenEye(model, "fp16") as ge:
+            single = run_campaign(ge, *data, injections_per_layer=12,
+                                  layers=["fc"], num_bits=1, seed=3)
+            multi = run_campaign(ge, *data, injections_per_layer=12,
+                                 layers=["fc"], num_bits=4, seed=3)
+        assert (multi.per_layer["fc"].mean_delta_loss
+                >= single.per_layer["fc"].mean_delta_loss * 0.5)

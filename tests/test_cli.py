@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+CHEAP = ["--model", "simple_cnn", "--classes", "4", "--samples", "80",
+         "--eval-samples", "32", "--epochs", "1", "--data-seed", "3"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["accuracy", "--model", "alexnet"])
+
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in ["accuracy", "sweep", "dse", "campaign", "ranges", "sites"]:
+            args = parser.parse_args([command] if command in ("ranges", "sites")
+                                     else [command, "--model", "simple_cnn"])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_sites(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        assert "bfp-metadata" in out
+        assert out.count("value") >= 5
+
+    def test_sites_kind_filter(self, capsys):
+        assert main(["sites", "--kind", "metadata"]) == 0
+        out = capsys.readouterr().out
+        assert "fp-value" not in out
+
+    def test_ranges_default(self, capsys):
+        assert main(["ranges"]) == 0
+        out = capsys.readouterr().out
+        assert "fp(e5m10)" in out and "dB" in out
+
+    def test_ranges_specific_formats(self, capsys):
+        assert main(["ranges", "--format", "fp8", "int8"]) == 0
+        out = capsys.readouterr().out
+        assert "240" in out and "127" in out
+
+    def test_accuracy(self, capsys):
+        code = main(["accuracy", *CHEAP, "--format", "fp32", "int8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fp32" in out and "int8" in out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", *CHEAP, "--families", "fp,int", "--bits", "16,8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16b" in out and "8b" in out
+
+    def test_sweep_unknown_family(self, capsys):
+        code = main(["sweep", *CHEAP, "--families", "posit", "--bits", "8"])
+        assert code == 2
+
+    def test_dse(self, capsys):
+        code = main(["dse", *CHEAP, "--family", "int", "--threshold", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "suggested format" in out
+
+    def test_campaign(self, capsys):
+        code = main(["campaign", *CHEAP, "--format", "int8",
+                     "--kind", "metadata", "--injections", "3", "--batch", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ΔLoss" in out and "network mean" in out
+
+
+class TestExtendedCommands:
+    def test_cost(self, capsys):
+        code = main(["cost", "--model", "simple_cnn", "--classes", "4",
+                     "--samples", "80", "--format", "int8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "MACs" in out
+
+    def test_attack(self, capsys):
+        code = main(["attack", *CHEAP, "--epsilon", "0.2",
+                     "--format", "native", "fp8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FGSM" in out and "attack success" in out
+
+    def test_mixed(self, capsys):
+        code = main(["mixed", *CHEAP, "--threshold", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mixed-precision" in out

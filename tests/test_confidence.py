@@ -1,0 +1,68 @@
+"""Tests for confidence-stratified SDC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ConfidenceBin, confidence_stratified_sdc
+from repro.models import simple_cnn
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, image_size=8, seed=0)
+
+
+@pytest.fixture
+def data(rng):
+    return (rng.standard_normal((16, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 4, size=16))
+
+
+class TestBin:
+    def test_sdc_rate(self):
+        b = ConfidenceBin(0.0, 0.5, samples=4, injected_inferences=40, sdc_count=4)
+        assert b.sdc_rate == pytest.approx(0.1)
+
+    def test_empty_bin_rate_is_zero(self):
+        b = ConfidenceBin(0.9, 1.0, samples=0, injected_inferences=0, sdc_count=0)
+        assert b.sdc_rate == 0.0
+
+
+class TestStudy:
+    def test_bins_cover_edges(self, model, data):
+        study = confidence_stratified_sdc(model, "int8", *data, injections=5, seed=0)
+        assert len(study.bins) == 4
+        assert study.bins[0].low == 0.0
+        assert study.bins[-1].high == 1.0
+
+    def test_sample_counts_partition_batch(self, model, data):
+        study = confidence_stratified_sdc(model, "int8", *data, injections=5, seed=0)
+        assert sum(b.samples for b in study.bins) == len(data[0])
+
+    def test_injected_inferences_scale_with_budget(self, model, data):
+        study = confidence_stratified_sdc(model, "int8", *data, injections=7, seed=0)
+        assert sum(b.injected_inferences for b in study.bins) == 7 * len(data[0])
+
+    def test_deterministic_by_seed(self, model, data):
+        s1 = confidence_stratified_sdc(model, "int8", *data, injections=6, seed=5)
+        s2 = confidence_stratified_sdc(model, "int8", *data, injections=6, seed=5)
+        assert [b.sdc_count for b in s1.bins] == [b.sdc_count for b in s2.bins]
+
+    def test_table_renders(self, model, data):
+        study = confidence_stratified_sdc(model, "fp16", *data, injections=3, seed=0)
+        text = study.table()
+        assert "SDC rate" in text and "confidence" in text
+
+    def test_low_confidence_more_fragile_on_trained_model(self, trained_model, val_data):
+        # the §I observation: SDCs concentrate in low-confidence inferences
+        images, labels = val_data
+        study = confidence_stratified_sdc(trained_model, "int8",
+                                          images[:48], labels[:48],
+                                          injections=60, seed=0)
+        ratio = study.low_vs_high_ratio()
+        assert np.isnan(ratio) or ratio >= 1.0
+
+    def test_model_restored(self, model, data):
+        before = model.conv1.weight.data.copy()
+        confidence_stratified_sdc(model, "int8", *data, injections=2, seed=0)
+        np.testing.assert_array_equal(model.conv1.weight.data, before)

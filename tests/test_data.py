@@ -1,0 +1,187 @@
+"""Tests for the synthetic dataset, data loader, and trainer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import (
+    DataLoader,
+    SyntheticImageNet,
+    evaluate_accuracy,
+    get_pretrained,
+    make_splits,
+    train,
+)
+from repro.data.trainer import recalibrate_batchnorm
+from repro.models import simple_cnn
+
+
+class TestSyntheticImageNet:
+    def test_shapes_and_dtypes(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=40, image_size=16, seed=0)
+        assert ds.images.shape == (40, 3, 16, 16)
+        assert ds.images.dtype == np.float32
+        assert ds.labels.shape == (40,)
+        assert ds.labels.dtype == np.int64
+
+    def test_deterministic_by_seed(self):
+        a = SyntheticImageNet(num_classes=4, num_samples=40, seed=5)
+        b = SyntheticImageNet(num_classes=4, num_samples=40, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageNet(num_classes=4, num_samples=40, seed=0)
+        b = SyntheticImageNet(num_classes=4, num_samples=40, seed=1)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_labels_balanced(self):
+        ds = SyntheticImageNet(num_classes=5, num_samples=50, seed=0)
+        counts = np.bincount(ds.labels)
+        np.testing.assert_array_equal(counts, [10] * 5)
+
+    def test_standardized(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=100, seed=0)
+        assert abs(ds.images.mean()) < 0.01
+        assert abs(ds.images.std() - 1.0) < 0.05
+
+    def test_getitem_and_len(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=40, seed=0)
+        image, label = ds[3]
+        assert image.shape == (3, 32, 32)
+        assert label == int(ds.labels[3])
+        assert len(ds) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two classes"):
+            SyntheticImageNet(num_classes=1)
+        with pytest.raises(ValueError, match="per class"):
+            SyntheticImageNet(num_classes=10, num_samples=5)
+
+    def test_classes_are_separable(self):
+        # nearest-template classification must beat chance by a wide margin
+        ds = SyntheticImageNet(num_classes=4, num_samples=80, seed=0)
+        per_class_mean = np.stack([ds.images[ds.labels == c].mean(axis=0)
+                                   for c in range(4)])
+        correct = 0
+        for img, label in zip(ds.images, ds.labels):
+            dists = ((per_class_mean - img) ** 2).sum(axis=(1, 2, 3))
+            correct += int(dists.argmin() == label)
+        assert correct / len(ds) > 0.6
+
+
+class TestSplits:
+    def test_split_fractions(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=100, seed=0)
+        (tx, ty), (vx, vy) = make_splits(ds, train_fraction=0.8)
+        assert len(tx) == 80 and len(vx) == 20
+        assert len(ty) == 80 and len(vy) == 20
+
+    def test_split_disjoint_and_complete(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=60, seed=0)
+        (tx, _), (vx, _) = make_splits(ds)
+        combined = np.concatenate([tx, vx])
+        assert combined.shape[0] == 60
+        # all original rows appear exactly once
+        assert len({arr.tobytes() for arr in combined}) == 60
+
+    def test_invalid_fraction(self):
+        ds = SyntheticImageNet(num_classes=4, num_samples=40, seed=0)
+        with pytest.raises(ValueError, match="fraction"):
+            make_splits(ds, train_fraction=1.0)
+
+
+class TestDataLoader:
+    def test_batching(self, rng):
+        images = rng.standard_normal((10, 3, 4, 4)).astype(np.float32)
+        labels = np.arange(10)
+        loader = DataLoader(images, labels, batch_size=4)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert batches[0][0].shape == (4, 3, 4, 4)
+        assert batches[2][0].shape == (2, 3, 4, 4)
+        assert len(loader) == 3
+
+    def test_drop_last(self, rng):
+        images = rng.standard_normal((10, 2)).astype(np.float32)
+        loader = DataLoader(images, np.arange(10), batch_size=4, drop_last=True)
+        assert len(loader) == 2
+        assert len(list(loader)) == 2
+
+    def test_preserves_order_without_shuffle(self, rng):
+        images = rng.standard_normal((6, 2)).astype(np.float32)
+        loader = DataLoader(images, np.arange(6), batch_size=3)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_shuffle_changes_order_but_is_seeded(self, rng):
+        images = rng.standard_normal((32, 2)).astype(np.float32)
+        labels = np.arange(32)
+        l1 = DataLoader(images, labels, batch_size=32, shuffle=True, seed=5)
+        l2 = DataLoader(images, labels, batch_size=32, shuffle=True, seed=5)
+        _, y1 = next(iter(l1))
+        _, y2 = next(iter(l2))
+        np.testing.assert_array_equal(y1, y2)
+        assert not np.array_equal(y1, np.arange(32))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            DataLoader(np.zeros((3, 2)), np.zeros(4))
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DataLoader(np.zeros((3, 2)), np.zeros(3), batch_size=0)
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, splits):
+        train_split, val_split = splits
+        result = train(simple_cnn(num_classes=6, seed=0), train_split, val_split,
+                       epochs=2, seed=0)
+        assert result.losses[-1] < result.losses[0]
+        assert 0.0 <= result.val_accuracy <= 1.0
+
+    def test_trained_model_beats_chance(self, trained_model, val_data):
+        images, labels = val_data
+        loader = DataLoader(images, labels, batch_size=32)
+        assert evaluate_accuracy(trained_model, loader) > 0.4
+
+    def test_recalibrate_batchnorm_helps_eval(self, splits):
+        from repro.models import resnet18
+        train_split, _ = splits
+        model = resnet18(num_classes=6, seed=0)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        from repro.nn import functional as F
+        from repro.nn import Tensor
+        model.train()
+        for _ in range(6):
+            opt.zero_grad()
+            loss = F.cross_entropy(model(Tensor(train_split[0][:64])), train_split[1][:64])
+            loss.backward()
+            opt.step()
+        loader = DataLoader(train_split[0][:64], train_split[1][:64], batch_size=32)
+        before = evaluate_accuracy(model, loader)
+        recalibrate_batchnorm(model, (train_split[0][:64], train_split[1][:64]))
+        after = evaluate_accuracy(model, loader)
+        assert after >= before
+
+    def test_recalibrate_noop_without_batchnorm(self, splits):
+        from repro.models import simple_mlp
+        model = simple_mlp(num_classes=6, seed=0)
+        recalibrate_batchnorm(model, (splits[0][0][:8], splits[0][1][:8]))  # no raise
+
+    def test_get_pretrained_caches(self, tmp_path):
+        ds = SyntheticImageNet(num_classes=4, num_samples=60, image_size=16, seed=0)
+        m1, val1 = get_pretrained("simple_cnn", ds, epochs=1, cache_dir=tmp_path)
+        cached_files = list(tmp_path.glob("*.npz"))
+        assert len(cached_files) == 1
+        m2, val2 = get_pretrained("simple_cnn", ds, epochs=1, cache_dir=tmp_path)
+        for (_, p1), (_, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        np.testing.assert_array_equal(val1[0], val2[0])
+
+    def test_get_pretrained_cache_key_distinguishes_configs(self, tmp_path):
+        ds = SyntheticImageNet(num_classes=4, num_samples=60, image_size=16, seed=0)
+        get_pretrained("simple_cnn", ds, epochs=1, cache_dir=tmp_path)
+        get_pretrained("simple_cnn", ds, epochs=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2

@@ -1,0 +1,69 @@
+"""Tests for the Ranger-style range detector."""
+
+import numpy as np
+
+from repro.core import RangeDetector
+
+
+class TestProfiling:
+    def test_observe_records_bounds(self):
+        det = RangeDetector()
+        det.observe("fc", np.float32([-1.0, 2.0]))
+        assert det.bounds["fc"] == (-1.0, 2.0)
+
+    def test_observe_extends_bounds(self):
+        det = RangeDetector()
+        det.observe("fc", np.float32([-1.0, 2.0]))
+        det.observe("fc", np.float32([-3.0, 1.0]))
+        assert det.bounds["fc"] == (-3.0, 2.0)
+
+    def test_clamp_in_profiling_mode_observes(self):
+        det = RangeDetector(active=False)
+        x = np.float32([5.0, -5.0])
+        out = det.clamp("fc", x)
+        np.testing.assert_array_equal(out, x)  # pass-through
+        assert det.bounds["fc"] == (-5.0, 5.0)
+
+
+class TestProtection:
+    def make_profiled(self):
+        det = RangeDetector()
+        det.observe("fc", np.float32([-1.0, 1.0]))
+        det.active = True
+        return det
+
+    def test_in_range_untouched(self):
+        det = self.make_profiled()
+        x = np.float32([0.5, -0.5])
+        out = det.clamp("fc", x)
+        np.testing.assert_array_equal(out, x)
+        assert det.total_detections == 0
+
+    def test_out_of_range_clipped_and_counted(self):
+        det = self.make_profiled()
+        out = det.clamp("fc", np.float32([10.0, -10.0, 0.0]))
+        np.testing.assert_array_equal(out, [1.0, -1.0, 0.0])
+        assert det.detections["fc"] == 2
+
+    def test_inf_pulled_to_bounds(self):
+        det = self.make_profiled()
+        out = det.clamp("fc", np.float32([np.inf, -np.inf]))
+        np.testing.assert_array_equal(out, [1.0, -1.0])
+
+    def test_nan_replaced_with_zero(self):
+        det = self.make_profiled()
+        out = det.clamp("fc", np.float32([np.nan]))
+        np.testing.assert_array_equal(out, [0.0])
+        assert det.total_detections == 1
+
+    def test_unprofiled_layer_passes_through(self):
+        det = self.make_profiled()
+        x = np.float32([100.0])
+        np.testing.assert_array_equal(det.clamp("other", x), x)
+
+    def test_reset_detections(self):
+        det = self.make_profiled()
+        det.clamp("fc", np.float32([99.0]))
+        assert det.total_detections == 1
+        det.reset_detections()
+        assert det.total_detections == 0

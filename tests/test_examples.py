@@ -1,0 +1,47 @@
+"""Smoke tests that every example script parses and defines a main()."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {p.name for p in EXAMPLE_FILES}
+    assert {"quickstart.py", "number_format_comparison.py", "dse_search.py",
+            "resiliency_analysis.py", "custom_format.py",
+            "training_with_emulation.py", "security_analysis.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{path.name} has no main()"
+    # every example must be runnable as a script
+    has_guard = any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    )
+    assert has_guard, f"{path.name} lacks an if __name__ == '__main__' guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every repro import an example uses must exist in the package."""
+    import importlib
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} does not exist")

@@ -1,0 +1,168 @@
+"""Tests for the named-format registry, spec parsing, and Table I ranges."""
+
+import math
+
+import pytest
+
+from repro.formats import (
+    AdaptivFloat,
+    BlockFloatingPoint,
+    FixedPoint,
+    FloatingPoint,
+    IntegerQuant,
+    NAMED_FORMATS,
+    available_formats,
+    dynamic_range,
+    make_format,
+    register_format,
+)
+
+
+class TestNamedFormats:
+    @pytest.mark.parametrize(
+        "name,cls,e,m",
+        [
+            ("fp32", FloatingPoint, 8, 23),
+            ("fp16", FloatingPoint, 5, 10),
+            ("half", FloatingPoint, 5, 10),
+            ("bfloat16", FloatingPoint, 8, 7),
+            ("tensorfloat32", FloatingPoint, 8, 10),
+            ("dlfloat16", FloatingPoint, 6, 9),
+            ("fp8", FloatingPoint, 4, 3),
+        ],
+    )
+    def test_named_fp_variants(self, name, cls, e, m):
+        fmt = make_format(name)
+        assert isinstance(fmt, cls)
+        assert fmt.exp_bits == e
+        assert fmt.mantissa_bits == m
+
+    def test_named_int_fxp_bfp_afp(self):
+        assert isinstance(make_format("int8"), IntegerQuant)
+        assert isinstance(make_format("fxp32"), FixedPoint)
+        assert isinstance(make_format("bfp16"), BlockFloatingPoint)
+        assert isinstance(make_format("afp8"), AdaptivFloat)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert make_format("  FP16 ") == make_format("fp16")
+
+    def test_available_formats_sorted(self):
+        names = available_formats()
+        assert names == sorted(names)
+        assert "fp32" in names
+
+
+class TestSpecParsing:
+    def test_fp_spec(self):
+        fmt = make_format("fp_e2m5")
+        assert (fmt.exp_bits, fmt.mantissa_bits, fmt.denormals) == (2, 5, True)
+
+    def test_fp_nodn_spec(self):
+        assert not make_format("fp_e4m3_nodn").denormals
+
+    def test_afp_spec(self):
+        fmt = make_format("afp_e5m2")
+        assert isinstance(fmt, AdaptivFloat)
+        assert (fmt.exp_bits, fmt.mantissa_bits) == (5, 2)
+
+    def test_bfp_spec_with_block(self):
+        fmt = make_format("bfp_e5m5_b16")
+        assert (fmt.exp_bits, fmt.mantissa_bits, fmt.block_size) == (5, 5, 16)
+
+    def test_bfp_spec_tensor_block(self):
+        assert make_format("bfp_e5m5_btensor").block_size is None
+        assert make_format("bfp_e5m5").block_size is None
+
+    def test_fxp_spec(self):
+        fmt = make_format("fxp_1_4_4")
+        assert (fmt.int_bits, fmt.frac_bits) == (4, 4)
+
+    def test_int_spec(self):
+        assert make_format("int4").bits == 4
+
+    def test_instance_passthrough_spawns(self):
+        original = IntegerQuant(8)
+        import numpy as np
+        original.real_to_format_tensor(np.float32([1.0]))
+        fresh = make_format(original)
+        assert fresh == original and fresh is not original
+        assert fresh.metadata is None
+
+    def test_unknown_spec_raises_with_guidance(self):
+        with pytest.raises(ValueError, match="unrecognized format spec"):
+            make_format("quantum128")
+
+    def test_register_format(self):
+        register_format("test_custom_fp", lambda: FloatingPoint(3, 4))
+        try:
+            assert make_format("test_custom_fp").exp_bits == 3
+            with pytest.raises(ValueError, match="already registered"):
+                register_format("test_custom_fp", lambda: FloatingPoint(3, 4))
+        finally:
+            del NAMED_FORMATS["test_custom_fp"]
+
+
+class TestDynamicRanges:
+    """Table I reproduction at the unit level (dB = 20 log10(max/min))."""
+
+    @pytest.mark.parametrize(
+        "spec,denormals,expected_db",
+        [
+            ("fp32", True, 1667.71),
+            ("fp32", False, 1529.23),
+            ("fp16", True, 240.82),
+            ("fp16", False, 180.61),
+            # the paper prints 1571.54, but its own max/min (3.39e38, 9.18e-41)
+            # give 20*log10(max/min) = 1571.35; we match the max/min
+            ("bfloat16", True, 1571.34),
+            ("bfloat16", False, 1529.20),
+        ],
+    )
+    def test_fp_rows(self, spec, denormals, expected_db):
+        fmt = make_format(spec)
+        if not denormals:
+            fmt = FloatingPoint(fmt.exp_bits, fmt.mantissa_bits, denormals=False)
+        assert dynamic_range(fmt).db == pytest.approx(expected_db, abs=0.01)
+
+    def test_fxp_row(self):
+        # the paper prints "3.2768" (typo for 32768); the dB value confirms it
+        r = dynamic_range(make_format("fxp_1_15_16"))
+        assert r.max_value == pytest.approx(32768.0, rel=1e-4)
+        assert r.db == pytest.approx(186.64, abs=0.01)
+
+    def test_int8_row(self):
+        r = dynamic_range(make_format("int8"))
+        assert r.max_value == 127
+        assert r.db == pytest.approx(42.08, abs=0.01)
+
+    def test_fp8_rows(self):
+        with_dn = dynamic_range(make_format("fp8"))
+        assert with_dn.max_value == 240.0
+        assert with_dn.db == pytest.approx(101.79, abs=0.01)
+        without = dynamic_range(FloatingPoint(4, 3, denormals=False))
+        assert without.db == pytest.approx(83.73, abs=0.01)
+
+    def test_afp_row_is_movable(self):
+        r = dynamic_range(AdaptivFloat(4, 3, denormals=False))
+        assert r.movable
+        assert "movable" in r.row()[3]
+
+    def test_int_row_is_movable(self):
+        assert dynamic_range(make_format("int8")).movable
+
+    def test_bfp_range(self):
+        r = dynamic_range(BlockFloatingPoint(5, 5, block_size=16))
+        assert r.db == pytest.approx(20 * math.log10(31), abs=0.01)
+
+    def test_unknown_format_type_raises(self):
+        class Alien:
+            pass
+
+        with pytest.raises(TypeError):
+            dynamic_range(Alien())
+
+    def test_denormals_always_widen_range(self):
+        for e, m in [(4, 3), (5, 10), (8, 7)]:
+            with_dn = dynamic_range(FloatingPoint(e, m, denormals=True)).db
+            without = dynamic_range(FloatingPoint(e, m, denormals=False)).db
+            assert with_dn > without

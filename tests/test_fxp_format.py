@@ -1,0 +1,124 @@
+"""Validation of the fixed-point format (FxP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import FixedPoint
+
+
+class TestSpec:
+    def test_paper_notation_fxp_1_15_16(self):
+        fmt = FixedPoint(15, 16)
+        assert fmt.bit_width == 32
+        assert fmt.radix == 16
+        assert fmt.max_value == 2 ** 15 - 2 ** -16
+        assert fmt.min_positive == 2 ** -16
+
+    def test_min_value_is_asymmetric(self):
+        # two's complement: one more negative code than positive
+        fmt = FixedPoint(3, 4)
+        assert fmt.min_value == -(2 ** 3)
+        assert fmt.max_value == 2 ** 3 - 2 ** -4
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FixedPoint(-1, 4)
+        with pytest.raises(ValueError):
+            FixedPoint(0, 0)
+
+    def test_name(self):
+        assert FixedPoint(4, 4).name == "fxp(1,4,4)"
+
+
+class TestTensorQuantization:
+    def test_grid_alignment(self):
+        fmt = FixedPoint(3, 2)  # granularity 0.25
+        out = fmt.real_to_format_tensor(np.float32([0.1, 0.3, 1.13, -0.4]))
+        np.testing.assert_array_equal(out, [0.0, 0.25, 1.25, -0.5])
+
+    def test_saturation(self):
+        fmt = FixedPoint(3, 2)
+        out = fmt.real_to_format_tensor(np.float32([100.0, -100.0]))
+        np.testing.assert_array_equal(out, [fmt.max_value, fmt.min_value])
+
+    def test_nan_becomes_zero_inf_saturates(self):
+        fmt = FixedPoint(3, 2)
+        out = fmt.real_to_format_tensor(np.float32([np.nan, np.inf, -np.inf]))
+        np.testing.assert_array_equal(out, [0.0, fmt.max_value, fmt.min_value])
+
+    def test_half_to_even_rounding(self):
+        fmt = FixedPoint(3, 1)  # granularity 0.5
+        out = fmt.real_to_format_tensor(np.float32([0.25, 0.75]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])  # ties to even code
+
+    def test_idempotence(self, rng):
+        fmt = FixedPoint(4, 4)
+        x = (rng.standard_normal(200) * 10).astype(np.float32)
+        once = fmt.real_to_format_tensor(x)
+        np.testing.assert_array_equal(fmt.real_to_format_tensor(once), once)
+
+
+class TestScalarBitstrings:
+    def test_sign_bit_msb(self):
+        fmt = FixedPoint(3, 2)
+        assert fmt.real_to_format(-1.0)[0] == 1
+        assert fmt.real_to_format(1.0)[0] == 0
+
+    def test_known_encoding(self):
+        fmt = FixedPoint(2, 2)  # 5 bits total, scale 0.25
+        # 1.25 -> code 5 -> 00101
+        assert fmt.real_to_format(1.25) == [0, 0, 1, 0, 1]
+        assert fmt.format_to_real([0, 0, 1, 0, 1]) == 1.25
+
+    def test_negative_twos_complement(self):
+        fmt = FixedPoint(2, 2)
+        # -0.25 -> code -1 -> 11111
+        assert fmt.real_to_format(-0.25) == [1, 1, 1, 1, 1]
+        assert fmt.format_to_real([1, 1, 1, 1, 1]) == -0.25
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            FixedPoint(3, 2).real_to_format(float("nan"))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPoint(3, 2).format_to_real([0, 1])
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    def test_scalar_agrees_with_tensor_path(self, value):
+        fmt = FixedPoint(4, 3)
+        scalar = fmt.format_to_real(fmt.real_to_format(value))
+        tensor = float(fmt.real_to_format_tensor(np.float32([value]))[0])
+        assert scalar == tensor
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=8, max_size=8))
+    def test_any_pattern_roundtrips(self, bits):
+        fmt = FixedPoint(4, 3)
+        value = fmt.format_to_real(bits)
+        assert fmt.real_to_format(value) == bits
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-5, max_value=5, allow_nan=False),
+                    min_size=2, max_size=20))
+    def test_monotonicity(self, values):
+        fmt = FixedPoint(3, 3)
+        x = np.sort(np.float32(values))
+        q = fmt.real_to_format_tensor(x)
+        assert (np.diff(q) >= 0).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-7, max_value=7, allow_nan=False))
+    def test_error_bounded_by_half_step(self, value):
+        fmt = FixedPoint(3, 3)
+        q = float(fmt.real_to_format_tensor(np.float32([value]))[0])
+        assert abs(q - np.float32(value)) <= fmt.scale / 2 + 1e-7
+
+    def test_no_metadata(self):
+        fmt = FixedPoint(3, 3)
+        assert not fmt.has_metadata
+        assert fmt.num_metadata_registers() == 0

@@ -1,0 +1,111 @@
+"""Tests for grouped/depthwise convolution and the MobileNet model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import mobilenet_small
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .gradcheck import assert_gradcheck
+
+
+class TestGroupedConv:
+    def test_groups_match_per_group_reference(self, rng):
+        x = rng.standard_normal((2, 6, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=2)
+        ref_low = F.conv2d(Tensor(x[:, :3]), Tensor(w[:2]), padding=1).data
+        ref_high = F.conv2d(Tensor(x[:, 3:]), Tensor(w[2:]), padding=1).data
+        np.testing.assert_allclose(out.data[:, :2], ref_low, rtol=1e-10)
+        np.testing.assert_allclose(out.data[:, 2:], ref_high, rtol=1e-10)
+
+    def test_depthwise_matches_per_channel(self, rng):
+        x = rng.standard_normal((1, 4, 6, 6))
+        w = rng.standard_normal((4, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=4)
+        for c in range(4):
+            ref = F.conv2d(Tensor(x[:, c : c + 1]), Tensor(w[c : c + 1]), padding=1)
+            np.testing.assert_allclose(out.data[:, c : c + 1], ref.data, rtol=1e-10)
+
+    def test_groups_one_unchanged(self, rng):
+        x = rng.standard_normal((2, 3, 5, 5))
+        w = rng.standard_normal((4, 3, 3, 3))
+        a = F.conv2d(Tensor(x), Tensor(w), padding=1)
+        b = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=1)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_invalid_groups(self, rng):
+        x = Tensor(rng.standard_normal((1, 6, 5, 5)))
+        w = Tensor(rng.standard_normal((4, 3, 3, 3)))
+        with pytest.raises(ValueError, match="groups"):
+            F.conv2d(x, w, groups=4)  # 6 % 4 != 0
+        with pytest.raises(ValueError, match="groups"):
+            F.conv2d(x, w, groups=0)
+
+    def test_weight_shape_mismatch(self, rng):
+        x = Tensor(rng.standard_normal((1, 6, 5, 5)))
+        w = Tensor(rng.standard_normal((2, 6, 3, 3)))  # expects 3 per group
+        with pytest.raises(ValueError, match="per group"):
+            F.conv2d(x, w, groups=2)
+
+    def test_grouped_gradients(self, rng):
+        x = Tensor(rng.standard_normal((2, 4, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((6, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(6), requires_grad=True)
+        assert_gradcheck(
+            lambda: (F.conv2d(x, w, b, padding=1, groups=2) ** 2).sum(), [x, w, b])
+
+    def test_depthwise_gradients(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 5, 5)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 1, 3, 3)), requires_grad=True)
+        assert_gradcheck(
+            lambda: (F.conv2d(x, w, padding=1, groups=3) ** 2).sum(), [x, w])
+
+
+class TestConvLayerGroups:
+    def test_layer_weight_shape(self, rng):
+        conv = nn.Conv2d(8, 16, 3, groups=4, rng=rng)
+        assert conv.weight.shape == (16, 2, 3, 3)
+
+    def test_layer_rejects_bad_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            nn.Conv2d(8, 16, 3, groups=3)
+
+    def test_repr_mentions_groups(self, rng):
+        assert "g=4" in repr(nn.Conv2d(8, 8, 3, groups=4, rng=rng))
+        assert "g=" not in repr(nn.Conv2d(8, 8, 3, rng=rng))
+
+
+class TestMobileNet:
+    def test_forward_shape(self, rng):
+        model = mobilenet_small(num_classes=7, seed=0)
+        model.eval()
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        assert model(x).shape == (2, 7)
+
+    def test_depthwise_blocks_present(self):
+        model = mobilenet_small(seed=0)
+        depthwise = [m for m in model.modules()
+                     if isinstance(m, nn.Conv2d) and m.groups > 1]
+        assert len(depthwise) == 5
+        assert all(m.groups == m.in_channels for m in depthwise)
+
+    def test_goldeneye_instruments_depthwise_convs(self, rng):
+        from repro.core import GoldenEye
+        model = mobilenet_small(seed=0)
+        ge = GoldenEye(model, "int8")
+        assert any("depthwise" in name for name in ge.layer_names())
+        x = Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+        baseline = model(x).data.copy()
+        with ge:
+            emulated = model(x).data.copy()
+        assert not np.array_equal(baseline, emulated)
+
+    def test_trains(self, splits):
+        from repro.data import train
+        (tx, ty), (vx, vy) = splits
+        result = train(mobilenet_small(num_classes=6, seed=0),
+                       (tx[:96], ty[:96]), (vx[:32], vy[:32]), epochs=2, seed=0)
+        assert result.losses[-1] < result.losses[0]

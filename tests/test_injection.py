@@ -1,0 +1,250 @@
+"""Tests for the error-injection engine (values, metadata, weights, sampling)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GoldenEye, InjectionError, MetadataInjection, ValueInjection
+from repro.core.campaign import golden_inference
+from repro.models import simple_cnn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, image_size=8, seed=0)
+
+
+@pytest.fixture
+def x(rng):
+    return rng.standard_normal((3, 3, 8, 8)).astype(np.float32)
+
+
+@pytest.fixture
+def labels():
+    return np.array([0, 1, 2])
+
+
+class TestPlanValidation:
+    def test_value_injection_rejects_bad_location(self):
+        with pytest.raises(InjectionError, match="location"):
+            ValueInjection("fc", "gradient", 0, (0,))
+
+    def test_value_injection_requires_bits(self):
+        with pytest.raises(InjectionError, match="bit"):
+            ValueInjection("fc", "neuron", 0, ())
+
+    def test_value_injection_rejects_negative_index(self):
+        with pytest.raises(InjectionError, match="flat_index"):
+            ValueInjection("fc", "neuron", -1, (0,))
+
+    def test_metadata_injection_rejects_bad_location(self):
+        with pytest.raises(InjectionError, match="location"):
+            MetadataInjection("fc", "bias", 0, (0,))
+
+    def test_arm_unknown_layer(self, model):
+        ge = GoldenEye(model, "fp16").attach()
+        with pytest.raises(InjectionError, match="not instrumented"):
+            ge.injector.arm(ValueInjection("nope", "neuron", 0, (0,)))
+        ge.detach()
+
+    def test_arm_bit_out_of_format_range(self, model):
+        ge = GoldenEye(model, "int8").attach()
+        with pytest.raises(InjectionError, match="out of range"):
+            ge.injector.arm(ValueInjection("fc", "neuron", 0, (8,)))
+        ge.detach()
+
+    def test_metadata_plan_on_metadata_free_format(self, model):
+        ge = GoldenEye(model, "fp16").attach()
+        with pytest.raises(InjectionError, match="no metadata"):
+            ge.injector.arm(MetadataInjection("fc", "neuron", 0, (0,)))
+        ge.detach()
+
+
+class TestNeuronValueInjection:
+    def test_flip_corrupts_exactly_one_site_per_sample(self, model, x, labels):
+        ge = GoldenEye(model, "fp16", quantize_weights=False).attach()
+        golden = golden_inference(ge, x, labels)
+        plan = ValueInjection("fc", "neuron", 1, (1,))  # exponent MSB of logit 1
+        captured = {}
+        handle = model.fc.register_forward_hook(
+            lambda m, i, o: captured.update(out=o.data.copy()))
+        with ge.injector.armed(plan):
+            faulty = golden_inference(ge, x, labels)
+        handle.remove()
+        ge.detach()
+        # logit 1 of EVERY sample corrupted, all other logits identical
+        diff = faulty.logits != golden.logits
+        assert diff[:, 1].all()
+        assert not diff[:, [0, 2, 3]].any()
+
+    def test_disarm_restores_clean_inference(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(ValueInjection("fc", "neuron", 0, (1,))):
+            pass
+        clean = golden_inference(ge, x, labels)
+        np.testing.assert_array_equal(golden.logits, clean.logits)
+        ge.detach()
+
+    def test_out_of_range_index_raises_at_forward(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        ge.injector.arm(ValueInjection("fc", "neuron", 10 ** 9, (0,)))
+        with pytest.raises(InjectionError, match="out of range"):
+            golden_inference(ge, x, labels)
+        ge.injector.disarm()
+        ge.detach()
+
+    def test_multi_bit_flip(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(ValueInjection("fc", "neuron", 0, (0, 1, 5))):
+            faulty = golden_inference(ge, x, labels)
+        assert (faulty.logits[:, 0] != golden.logits[:, 0]).all()
+        ge.detach()
+
+    def test_fp32_fabric_injection_without_emulation(self, model, x, labels):
+        # injection with no neuron format = classic PyTorchFI bit flip in FP32
+        ge = GoldenEye(model, "fp32", quantize_neurons=False,
+                       range_detector=None).attach()
+        # need a hook to apply neuron injections: use detector-free neuron mode
+        ge.detach()
+        ge = GoldenEye(model, "fp32").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(ValueInjection("fc", "neuron", 0, (1,))):
+            faulty = golden_inference(ge, x, labels)
+        assert not np.array_equal(golden.logits, faulty.logits)
+        ge.detach()
+
+    def test_injection_counter(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        assert ge.injector.injections_applied == 0
+        with ge.injector.armed(ValueInjection("fc", "neuron", 0, (0,))):
+            golden_inference(ge, x, labels)
+        assert ge.injector.injections_applied == 1
+        ge.detach()
+
+
+class TestWeightInjection:
+    def test_weight_value_flip_applied_and_restored(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        quantized = model.fc.weight.data.copy()
+        plan = ValueInjection("fc", "weight", 5, (1,))
+        ge.injector.arm(plan)
+        assert model.fc.weight.data.reshape(-1)[5] != quantized.reshape(-1)[5]
+        changed = model.fc.weight.data != quantized
+        assert changed.sum() == 1
+        ge.injector.disarm()
+        np.testing.assert_array_equal(model.fc.weight.data, quantized)
+        ge.detach()
+
+    def test_weight_metadata_flip_rescales_tensor(self, model):
+        ge = GoldenEye(model, "int8").attach()
+        quantized = model.fc.weight.data.copy()
+        ge.injector.arm(MetadataInjection("fc", "weight", 0, (0,)))  # sign of scale
+        np.testing.assert_allclose(model.fc.weight.data, -quantized, rtol=1e-5)
+        ge.injector.disarm()
+        np.testing.assert_array_equal(model.fc.weight.data, quantized)
+        ge.detach()
+
+    def test_weight_injection_changes_inference(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(ValueInjection("fc", "weight", 0, (1,))):
+            faulty = golden_inference(ge, x, labels)
+        assert not np.array_equal(golden.logits, faulty.logits)
+        ge.detach()
+
+    def test_weight_index_out_of_range(self, model):
+        ge = GoldenEye(model, "fp16").attach()
+        with pytest.raises(InjectionError, match="out of range"):
+            ge.injector.arm(ValueInjection("fc", "weight", 10 ** 9, (0,)))
+        ge.detach()
+
+
+class TestMetadataNeuronInjection:
+    def test_int_scale_flip_rescales_layer_output(self, model, x, labels):
+        ge = GoldenEye(model, "int8").attach()
+        golden = golden_inference(ge, x, labels)
+        # sign-bit flip of the fc scale register: logits negate
+        with ge.injector.armed(MetadataInjection("fc", "neuron", 0, (0,))):
+            faulty = golden_inference(ge, x, labels)
+        np.testing.assert_allclose(faulty.logits, -golden.logits, rtol=1e-4, atol=1e-5)
+        ge.detach()
+
+    def test_bfp_block_exponent_flip_hits_one_block(self, model, x, labels):
+        ge = GoldenEye(model, "bfp_e8m7_b16").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(MetadataInjection("conv1", "neuron", 0, (7,))):
+            faulty = golden_inference(ge, x, labels)
+        assert not np.array_equal(golden.logits, faulty.logits)
+        ge.detach()
+
+    def test_afp_bias_flip_affects_whole_tensor(self, model, x, labels):
+        ge = GoldenEye(model, "afp_e5m2").attach()
+        golden = golden_inference(ge, x, labels)
+        with ge.injector.armed(MetadataInjection("fc", "neuron", 0, (7,))):
+            faulty = golden_inference(ge, x, labels)
+        nz = golden.logits != 0
+        ratios = faulty.logits[nz] / golden.logits[nz]
+        assert np.allclose(ratios, ratios.reshape(-1)[0], rtol=1e-4)
+        ge.detach()
+
+
+class TestSampling:
+    def test_neuron_sampling_requires_warmup(self, model):
+        ge = GoldenEye(model, "fp16").attach()
+        with pytest.raises(InjectionError, match="forward pass"):
+            ge.injector.sample_value_injection(np.random.default_rng(0), layer="fc")
+        ge.detach()
+
+    def test_neuron_sampling_within_per_sample_bounds(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden_inference(ge, x, labels)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            plan = ge.injector.sample_value_injection(rng, layer="fc")
+            assert plan.flat_index < 4  # 4 logits per sample
+            assert all(0 <= b < 16 for b in plan.bits)
+        ge.detach()
+
+    def test_weight_sampling_bounds(self, model):
+        ge = GoldenEye(model, "int8").attach()
+        rng = np.random.default_rng(0)
+        plan = ge.injector.sample_value_injection(rng, layer="fc", location="weight")
+        assert plan.flat_index < model.fc.weight.data.size
+        assert all(0 <= b < 8 for b in plan.bits)
+        ge.detach()
+
+    def test_metadata_sampling(self, model, x, labels):
+        ge = GoldenEye(model, "bfp_e5m5_b16").attach()
+        golden_inference(ge, x, labels)
+        rng = np.random.default_rng(0)
+        plan = ge.injector.sample_metadata_injection(rng, layer="conv1")
+        state = ge.layers["conv1"]
+        assert plan.register < state.neuron_format.num_metadata_registers()
+        assert all(0 <= b < 5 for b in plan.bits)
+        ge.detach()
+
+    def test_metadata_sampling_rejects_fp(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden_inference(ge, x, labels)
+        with pytest.raises(InjectionError):
+            ge.injector.sample_metadata_injection(np.random.default_rng(0), layer="fc")
+        ge.detach()
+
+    def test_random_layer_selection_is_seeded(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden_inference(ge, x, labels)
+        p1 = ge.injector.sample_value_injection(np.random.default_rng(42))
+        p2 = ge.injector.sample_value_injection(np.random.default_rng(42))
+        assert p1 == p2
+        ge.detach()
+
+    def test_multi_bit_sampling(self, model, x, labels):
+        ge = GoldenEye(model, "fp16").attach()
+        golden_inference(ge, x, labels)
+        plan = ge.injector.sample_value_injection(
+            np.random.default_rng(0), layer="fc", num_bits=3)
+        assert len(plan.bits) == 3
+        assert len(set(plan.bits)) == 3  # without replacement
+        ge.detach()

@@ -1,0 +1,163 @@
+"""Validation of symmetric integer quantization and its scale-factor metadata."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats import IntegerQuant, MetadataError, flip_bit
+
+
+class TestSpec:
+    def test_int8_code_range(self):
+        fmt = IntegerQuant(8)
+        assert fmt.max_code == 127
+        assert fmt.bit_width == 8
+        assert fmt.has_metadata
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IntegerQuant(1)
+
+    def test_invalid_calibration_range(self):
+        with pytest.raises(ValueError):
+            IntegerQuant(8, calibration_range=-1.0)
+
+    def test_name(self):
+        assert IntegerQuant(8).name == "int8"
+
+
+class TestQuantization:
+    def test_scale_is_peak_over_max_code(self, rng):
+        fmt = IntegerQuant(8)
+        x = rng.standard_normal(100).astype(np.float32)
+        fmt.real_to_format_tensor(x)
+        assert fmt.scale == pytest.approx(np.abs(x).max() / 127, rel=1e-6)
+
+    def test_peak_maps_to_max_code(self):
+        fmt = IntegerQuant(8)
+        out = fmt.real_to_format_tensor(np.float32([2.54, -1.0]))
+        assert out[0] == pytest.approx(2.54, rel=1e-6)
+
+    def test_symmetric_negative_range(self):
+        fmt = IntegerQuant(8)
+        out = fmt.real_to_format_tensor(np.float32([1.0, -1.0]))
+        assert out[1] == -out[0]  # uses -127, not -128
+
+    def test_small_values_round_to_zero(self):
+        fmt = IntegerQuant(8)
+        out = fmt.real_to_format_tensor(np.float32([127.0, 0.4]))
+        assert out[1] == 0.0
+
+    def test_calibration_range_overrides_peak(self):
+        fmt = IntegerQuant(8, calibration_range=10.0)
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        assert fmt.scale == pytest.approx(10.0 / 127)
+
+    def test_calibration_range_saturates_outliers(self):
+        fmt = IntegerQuant(8, calibration_range=1.0)
+        out = fmt.real_to_format_tensor(np.float32([5.0]))
+        assert out[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_all_zero_tensor(self):
+        fmt = IntegerQuant(8)
+        out = fmt.real_to_format_tensor(np.zeros(4, dtype=np.float32))
+        np.testing.assert_array_equal(out, np.zeros(4))
+        assert fmt.scale == 1.0  # degenerate but valid register
+
+    def test_nonfinite_inputs_do_not_poison_scale(self):
+        fmt = IntegerQuant(8)
+        out = fmt.real_to_format_tensor(np.float32([1.0, np.inf, np.nan]))
+        assert fmt.scale == pytest.approx(1.0 / 127)
+        assert out[1] == pytest.approx(1.0, rel=1e-6)  # inf saturates
+        assert out[2] == 0.0  # nan -> 0
+
+    def test_idempotence(self, rng):
+        fmt = IntegerQuant(8)
+        x = rng.standard_normal(100).astype(np.float32)
+        once = fmt.real_to_format_tensor(x)
+        np.testing.assert_allclose(fmt.real_to_format_tensor(once), once, atol=1e-6)
+
+
+class TestScalarBitstrings:
+    def test_requires_captured_metadata(self):
+        fmt = IntegerQuant(8)
+        with pytest.raises(MetadataError, match="no captured metadata"):
+            fmt.real_to_format(1.0)
+
+    def test_roundtrip(self, rng):
+        fmt = IntegerQuant(8)
+        x = rng.standard_normal(50).astype(np.float32)
+        q = fmt.real_to_format_tensor(x)
+        for v in q[:10]:
+            assert fmt.format_to_real(fmt.real_to_format(float(v))) == pytest.approx(
+                float(v), abs=1e-6)
+
+    def test_twos_complement_layout(self):
+        fmt = IntegerQuant(4)
+        fmt.real_to_format_tensor(np.float32([7.0]))  # scale = 1.0
+        assert fmt.real_to_format(3.0) == [0, 0, 1, 1]
+        assert fmt.real_to_format(-1.0) == [1, 1, 1, 1]
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(min_value=-8, max_value=8, allow_nan=False))
+    def test_scalar_agrees_with_tensor(self, value):
+        fmt = IntegerQuant(6)
+        fmt.real_to_format_tensor(np.float32([8.0]))  # fix the scale
+        scalar = fmt.format_to_real(fmt.real_to_format(value))
+        expected = float(np.clip(np.round(value / fmt.scale), -31, 31) * fmt.scale)
+        assert scalar == pytest.approx(expected, abs=1e-6)
+
+
+class TestMetadata:
+    def test_register_bookkeeping(self):
+        fmt = IntegerQuant(8)
+        assert fmt.num_metadata_registers() == 0
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        assert fmt.num_metadata_registers() == 1
+        assert fmt.metadata_register_width() == 32
+
+    def test_metadata_bits_are_ieee754_of_scale(self):
+        fmt = IntegerQuant(8)
+        fmt.real_to_format_tensor(np.float32([127.0]))  # scale exactly 1.0
+        bits = fmt.get_metadata_bits()
+        assert bits[1:9] == [0, 1, 1, 1, 1, 1, 1, 1]  # exponent of 1.0
+
+    def test_register_index_bounds(self):
+        fmt = IntegerQuant(8)
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        with pytest.raises(IndexError):
+            fmt.get_metadata_bits(register=1)
+        with pytest.raises(IndexError):
+            fmt.set_metadata_bits([0] * 32, register=1)
+
+    def test_scale_flip_rescales_all_values(self):
+        fmt = IntegerQuant(8)
+        x = np.float32([127.0, 64.0, -32.0])
+        q = fmt.real_to_format_tensor(x)
+        golden = fmt.metadata
+        # flip the sign bit of the scale: everything negates
+        fmt.set_metadata_bits(flip_bit(fmt.get_metadata_bits(), 0))
+        corrupted = fmt.apply_metadata_corruption(q, golden)
+        np.testing.assert_allclose(corrupted, -q, rtol=1e-6)
+
+    def test_scale_exponent_flip_is_catastrophic(self):
+        fmt = IntegerQuant(8)
+        q = fmt.real_to_format_tensor(np.float32([1.0, 0.5]))
+        golden = fmt.metadata
+        fmt.set_metadata_bits(flip_bit(fmt.get_metadata_bits(), 1))
+        corrupted = fmt.apply_metadata_corruption(q, golden)
+        # exponent MSB flip scales by ~2^128: saturates to inf in FP32
+        assert np.isinf(corrupted).any() or np.abs(corrupted).max() > 1e30
+
+    def test_corruption_requires_original(self):
+        fmt = IntegerQuant(8)
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        with pytest.raises(MetadataError):
+            fmt.apply_metadata_corruption(np.float32([1.0]), None)
+
+    def test_spawn_clears_metadata(self):
+        fmt = IntegerQuant(8)
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        clone = fmt.spawn()
+        assert clone.metadata is None
+        assert clone.bits == 8

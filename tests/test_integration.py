@@ -1,0 +1,173 @@
+"""Integration tests: the paper's qualitative claims on a real trained model.
+
+These exercise the full stack — data, models, formats, platform, campaigns —
+and assert the *shapes* the paper reports rather than absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.analysis import profile_resilience
+from repro.core import (
+    GoldenEye,
+    RangeDetector,
+    evaluate_format_accuracy,
+    run_campaign,
+)
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+class TestAccuracyOrdering:
+    """Use case 1 (§IV-A): accuracy as a function of the number format."""
+
+    def test_wide_formats_preserve_accuracy(self, trained_model, val_data):
+        images, labels = val_data
+        base = evaluate_format_accuracy(trained_model, images, labels, "fp32")
+        for spec in ("fp16", "bfloat16", "tensorfloat32", "dlfloat16", "int8"):
+            acc = evaluate_format_accuracy(trained_model, images, labels, spec)
+            assert acc >= base - 0.02, spec
+
+    def test_tiny_formats_destroy_accuracy(self, trained_model, val_data):
+        images, labels = val_data
+        base = evaluate_format_accuracy(trained_model, images, labels, "fp32")
+        crushed = evaluate_format_accuracy(trained_model, images, labels, "fxp_1_1_1")
+        assert crushed < base - 0.2
+
+    def test_afp_beats_fp_at_low_width(self, trained_model, val_data):
+        # Fig. 4's AFP observation: at the same tiny width, the adaptive bias
+        # recovers accuracy that fixed-bias FP loses
+        images, labels = val_data
+        fp = evaluate_format_accuracy(trained_model, images, labels, "fp_e5m2_nodn")
+        afp = evaluate_format_accuracy(trained_model, images, labels, "afp_e5m2_nodn")
+        assert afp >= fp
+
+    def test_int8_close_to_fp32(self, trained_model, val_data):
+        images, labels = val_data
+        base = evaluate_format_accuracy(trained_model, images, labels, "fp32")
+        int8 = evaluate_format_accuracy(trained_model, images, labels, "int8")
+        assert abs(base - int8) < 0.05
+
+
+class TestResilienceShapes:
+    """Use case 3 (§IV-C): Fig. 7's qualitative findings."""
+
+    @pytest.fixture(scope="class")
+    def bfp_profile(self, trained_model, val_data):
+        images, labels = val_data
+        return profile_resilience(trained_model, "cnn", "bfp_e5m5_b16",
+                                  images[:24], labels[:24],
+                                  injections_per_layer=40, seed=0)
+
+    def test_bfp_metadata_worse_than_value(self, bfp_profile):
+        # "Metadata error injections ... are much more egregious across the
+        # board, particularly for BFP"
+        assert (bfp_profile.network_metadata_delta_loss()
+                > bfp_profile.network_value_delta_loss() * 3)
+
+    def test_afp_value_resilience(self, trained_model, val_data):
+        images, labels = val_data
+        afp = profile_resilience(trained_model, "cnn", "afp_e5m2",
+                                 images[:24], labels[:24],
+                                 injections_per_layer=40, seed=0)
+        assert afp.metadata_campaign is not None
+        assert afp.network_metadata_delta_loss() > afp.network_value_delta_loss()
+
+    def test_campaign_is_reproducible_end_to_end(self, trained_model, val_data):
+        images, labels = val_data
+        runs = []
+        for _ in range(2):
+            with GoldenEye(trained_model, "int8") as ge:
+                result = run_campaign(ge, images[:16], labels[:16],
+                                      injections_per_layer=5, seed=11)
+            runs.append(result.mean_delta_loss())
+        assert runs[0] == runs[1]
+
+
+class TestRangeDetectorProtection:
+    def test_detector_reduces_fault_impact(self, trained_model, val_data):
+        """The Ranger-style detector should lower ΔLoss under metadata faults."""
+        images, labels = val_data
+        x, y = images[:24], labels[:24]
+
+        def campaign(detector):
+            with GoldenEye(trained_model, "bfp_e5m5_b16",
+                           range_detector=detector) as ge:
+                if detector is not None:
+                    # profile on a clean pass, then activate protection
+                    from repro.core.campaign import golden_inference
+                    golden_inference(ge, x, y)
+                    detector.active = True
+                return run_campaign(ge, x, y, kind="metadata",
+                                    injections_per_layer=30, seed=2).mean_delta_loss()
+
+        unprotected = campaign(None)
+        protected = campaign(RangeDetector())
+        assert protected < unprotected
+
+    def test_detector_transparent_on_clean_runs(self, trained_model, val_data):
+        images, labels = val_data
+        x = images[:16]
+        with GoldenEye(trained_model, "fp16") as ge:
+            clean = trained_model(Tensor(x)).data.copy()
+        det = RangeDetector()
+        with GoldenEye(trained_model, "fp16", range_detector=det) as ge:
+            trained_model(Tensor(x))  # profiling
+            det.active = True
+            protected = trained_model(Tensor(x)).data.copy()
+        np.testing.assert_allclose(clean, protected, atol=1e-6)
+
+
+class TestTrainingUnderEmulation:
+    """§V-B: emulation supports training via backprop (straight-through)."""
+
+    def test_loss_decreases_with_int8_emulation(self, splits):
+        from repro.models import simple_cnn
+        train_split, _ = splits
+        model = simple_cnn(num_classes=6, seed=0)
+        x, y = train_split[0][:64], train_split[1][:64]
+        opt = nn.Adam(model.parameters(), lr=2e-3)
+        losses = []
+        with GoldenEye(model, "int8", quantize_weights=False):
+            model.train()
+            for _ in range(12):
+                opt.zero_grad()
+                loss = F.cross_entropy(model(Tensor(x)), y)
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_weight_quantized_training_also_learns(self, splits):
+        # quantize_weights=True freezes the quantized weights at attach; the
+        # underlying parameters still receive gradients through STE
+        from repro.models import simple_mlp
+        train_split, _ = splits
+        model = simple_mlp(num_classes=6, seed=0)
+        x, y = train_split[0][:64], train_split[1][:64]
+        opt = nn.SGD(model.parameters(), lr=0.05)
+        with GoldenEye(model, "fp16"):
+            model.train()
+            first = None
+            for _ in range(10):
+                opt.zero_grad()
+                loss = F.cross_entropy(model(Tensor(x)), y)
+                loss.backward()
+                opt.step()
+                first = first if first is not None else loss.item()
+            assert loss.item() < first
+
+
+class TestMixedPrecisionExtension:
+    def test_per_layer_assignment_end_to_end(self, trained_model, val_data):
+        images, labels = val_data
+        assignment = {"conv1": "fp16", "conv2": "int8", "fc": "afp_e4m3"}
+        ge = GoldenEye(trained_model, assignment)
+        with ge:
+            trained_model.eval()
+            with nn.no_grad():
+                logits = trained_model(Tensor(images[:8]))
+        assert logits.shape == (8, 6)
+        kinds = {name: s.neuron_format.kind for name, s in ge.layers.items()}
+        assert kinds == {"conv1": "fp", "conv2": "int", "fc": "afp"}

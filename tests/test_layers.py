@@ -1,0 +1,178 @@
+"""Unit tests for concrete layers (repro.nn.layers) and attention blocks."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def x_img(rng):
+    return Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+
+
+@pytest.fixture
+def x_seq(rng):
+    return Tensor(rng.standard_normal((2, 5, 16)).astype(np.float32))
+
+
+class TestLinear:
+    def test_shape_and_value(self, rng):
+        lin = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        out = lin(Tensor(x))
+        assert out.shape == (5, 3)
+        np.testing.assert_allclose(out.data, x @ lin.weight.data.T + lin.bias.data, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        lin = nn.Linear(4, 3, bias=False, rng=rng)
+        assert lin.bias is None
+        assert lin(Tensor(np.zeros((1, 4), dtype=np.float32))).data.sum() == 0.0
+
+    def test_batched_inputs(self, rng):
+        lin = nn.Linear(4, 3, rng=rng)
+        out = lin(Tensor(rng.standard_normal((2, 7, 4)).astype(np.float32)))
+        assert out.shape == (2, 7, 3)
+
+    def test_seeded_init_is_deterministic(self):
+        w1 = nn.Linear(4, 3, rng=np.random.default_rng(5)).weight.data
+        w2 = nn.Linear(4, 3, rng=np.random.default_rng(5)).weight.data
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestConvLayer:
+    def test_output_shape(self, x_img, rng):
+        conv = nn.Conv2d(3, 6, 3, stride=2, padding=1, rng=rng)
+        assert conv(x_img).shape == (2, 6, 4, 4)
+
+    def test_one_by_one_conv(self, x_img, rng):
+        conv = nn.Conv2d(3, 5, 1, rng=rng)
+        assert conv(x_img).shape == (2, 5, 8, 8)
+
+    def test_repr(self, rng):
+        assert "Conv2d(3, 6" in repr(nn.Conv2d(3, 6, 3, rng=rng))
+
+
+class TestNormLayers:
+    def test_batchnorm_running_stats_move_in_train(self, x_img):
+        bn = nn.BatchNorm2d(3)
+        bn.train()
+        bn(x_img)
+        assert not np.allclose(bn._buffers["running_mean"], 0)
+
+    def test_batchnorm_eval_does_not_update_stats(self, x_img):
+        bn = nn.BatchNorm2d(3)
+        bn.eval()
+        before = bn._buffers["running_mean"].copy()
+        bn(x_img)
+        np.testing.assert_array_equal(bn._buffers["running_mean"], before)
+
+    def test_layernorm_shape(self, x_seq):
+        ln = nn.LayerNorm(16)
+        out = ln(x_seq)
+        assert out.shape == x_seq.shape
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros((2, 5)), atol=1e-5)
+
+
+class TestSimpleLayers:
+    def test_activations_shapes(self, x_img):
+        for layer in [nn.ReLU(), nn.GELU(), nn.Sigmoid(), nn.Tanh()]:
+            assert layer(x_img).shape == x_img.shape
+
+    def test_softmax_layer(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        out = nn.Softmax()(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3), rtol=1e-6)
+
+    def test_pooling_layers(self, x_img):
+        assert nn.MaxPool2d(2)(x_img).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(2)(x_img).shape == (2, 3, 4, 4)
+        assert nn.AdaptiveAvgPool2d(1)(x_img).shape == (2, 3, 1, 1)
+
+    def test_flatten(self, x_img):
+        assert nn.Flatten(1)(x_img).shape == (2, 3 * 8 * 8)
+
+    def test_identity(self, x_img):
+        assert nn.Identity()(x_img) is x_img
+
+    def test_dropout_train_vs_eval(self, x_img):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        drop.train()
+        assert (drop(x_img).data == 0).any()
+        drop.eval()
+        assert drop(x_img) is x_img
+
+    def test_embedding_lookup(self, rng):
+        emb = nn.Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_array_equal(out.data[0, 0], emb.weight.data[1])
+
+    def test_embedding_gradient_accumulates_for_repeats(self, rng):
+        emb = nn.Embedding(5, 3, rng=rng)
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[2], [1.0, 1.0, 1.0])
+
+
+class TestAttention:
+    def test_mhsa_shape(self, x_seq, rng):
+        attn = nn.MultiHeadSelfAttention(16, 4, rng=rng)
+        assert attn(x_seq).shape == (2, 5, 16)
+
+    def test_mhsa_rejects_bad_head_split(self):
+        with pytest.raises(ValueError, match="divisible"):
+            nn.MultiHeadSelfAttention(10, 3)
+
+    def test_mhsa_gradients_flow(self, x_seq, rng):
+        attn = nn.MultiHeadSelfAttention(16, 2, rng=rng)
+        x = Tensor(x_seq.data.copy(), requires_grad=True)
+        attn(x).sum().backward()
+        assert x.grad is not None
+        assert attn.qkv.weight.grad is not None
+
+    def test_encoder_block_residual_structure(self, x_seq, rng):
+        block = nn.TransformerEncoderBlock(16, 4, rng=rng)
+        out = block(x_seq)
+        assert out.shape == x_seq.shape
+        # residual path: output correlates with input
+        corr = np.corrcoef(out.data.reshape(-1), x_seq.data.reshape(-1))[0, 1]
+        assert corr > 0.3
+
+    def test_mlp_hidden_dim(self, rng):
+        mlp = nn.TransformerMLP(16, 32, rng=rng)
+        assert mlp.fc1.out_features == 32
+        assert mlp.fc2.out_features == 16
+
+
+class TestInit:
+    def test_kaiming_uniform_bound(self, rng):
+        w = nn.init.kaiming_uniform((100, 50), rng=rng)
+        fan_in = 50
+        gain = np.sqrt(2.0 / (1.0 + 5.0))
+        bound = gain * np.sqrt(3.0 / fan_in)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_kaiming_normal_std(self, rng):
+        w = nn.init.kaiming_normal((1000, 100), rng=rng)
+        assert abs(w.std() - np.sqrt(2.0 / 100)) < 0.01
+
+    def test_xavier_uniform_bound(self, rng):
+        w = nn.init.xavier_uniform((30, 20), rng=rng)
+        bound = np.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_conv_fan_computation(self, rng):
+        w = nn.init.kaiming_normal((8, 4, 3, 3), rng=rng)
+        assert w.shape == (8, 4, 3, 3)
+
+    def test_unsupported_shape_raises(self, rng):
+        with pytest.raises(ValueError, match="shape"):
+            nn.init.kaiming_uniform((2, 3, 4), rng=rng)
+
+    def test_all_inits_are_float32(self, rng):
+        assert nn.init.normal((3,), rng=rng).dtype == np.float32
+        assert nn.init.uniform((3,), -1, 1, rng=rng).dtype == np.float32
+        assert nn.init.zeros((3,)).dtype == np.float32

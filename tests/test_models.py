@@ -1,0 +1,112 @@
+"""Tests for the model zoo and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    available_models,
+    mobilenet_small,
+    vgg11,
+    create_model,
+    deit_base,
+    deit_tiny,
+    register_model,
+    resnet18,
+    resnet50,
+    simple_cnn,
+    simple_mlp,
+)
+from repro.models.registry import MODEL_REGISTRY
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def x(rng):
+    return Tensor(rng.standard_normal((2, 3, 32, 32)).astype(np.float32))
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("factory", [resnet18, resnet50, deit_tiny, simple_mlp, simple_cnn, vgg11, mobilenet_small])
+    def test_logit_shape(self, factory, x):
+        model = factory(num_classes=7, seed=0)
+        model.eval()
+        assert model(x).shape == (2, 7)
+
+    def test_deit_base_shape(self, x):
+        model = deit_base(num_classes=5, seed=0)
+        model.eval()
+        assert model(x).shape == (2, 5)
+
+    def test_resnet_has_conv_and_linear_layers(self):
+        from repro import nn
+        model = resnet18(seed=0)
+        kinds = {type(m) for _, m in model.named_modules()}
+        assert nn.Conv2d in kinds and nn.Linear in kinds and nn.BatchNorm2d in kinds
+
+    def test_resnet50_uses_bottlenecks(self):
+        from repro.models import Bottleneck
+        model = resnet50(seed=0)
+        assert any(isinstance(m, Bottleneck) for m in model.modules())
+
+    def test_resnet50_has_more_parameters_than_resnet18(self):
+        assert resnet50(seed=0).num_parameters() > resnet18(seed=0).num_parameters()
+
+    def test_deit_base_is_bigger_than_tiny(self):
+        assert deit_base(seed=0).num_parameters() > deit_tiny(seed=0).num_parameters()
+
+    def test_deit_rejects_bad_patch_split(self):
+        from repro.models.deit import VisionTransformer
+        with pytest.raises(ValueError, match="divisible"):
+            VisionTransformer(image_size=30, patch_size=8)
+
+
+class TestDeterminism:
+    def test_same_seed_same_weights(self):
+        m1, m2 = resnet18(seed=3), resnet18(seed=3)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_different_seed_different_weights(self):
+        m1, m2 = deit_tiny(seed=0), deit_tiny(seed=1)
+        assert not np.array_equal(m1.head.weight.data, m2.head.weight.data)
+
+    def test_forward_is_deterministic_in_eval(self, x):
+        model = simple_cnn(seed=0)
+        model.eval()
+        np.testing.assert_array_equal(model(x).data, model(x).data)
+
+
+class TestGradientsFlow:
+    @pytest.mark.parametrize("factory", [simple_cnn, deit_tiny])
+    def test_backward_reaches_all_parameters(self, factory, x):
+        model = factory(num_classes=4, seed=0)
+        model.train()
+        out = model(x)
+        out.sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert missing == []
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert {"resnet18", "resnet50", "deit_tiny", "deit_base",
+                "simple_mlp", "simple_cnn", "vgg11", "mobilenet_small"} <= set(names)
+
+    def test_create_model_passes_kwargs(self):
+        model = create_model("simple_cnn", num_classes=3, seed=1)
+        assert model.fc.out_features == 3
+
+    def test_unknown_model_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            create_model("alexnet")
+
+    def test_register_model(self):
+        register_model("test_model_x", lambda **kw: simple_mlp(**kw))
+        try:
+            assert create_model("test_model_x", num_classes=2).fc3.out_features == 2
+            with pytest.raises(ValueError, match="already registered"):
+                register_model("test_model_x", lambda **kw: simple_mlp(**kw))
+        finally:
+            del MODEL_REGISTRY["test_model_x"]

@@ -1,0 +1,208 @@
+"""Unit tests for the Module base class, with emphasis on the hook machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+class Affine(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = nn.Parameter(np.float32([2.0]))
+        self.register_buffer("calls", np.zeros(1))
+
+    def forward(self, x):
+        self._buffers["calls"] += 1
+        return x * self.weight
+
+
+class Net(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.a = Affine()
+        self.b = Affine()
+
+    def forward(self, x):
+        return self.b(self.a(x))
+
+
+class TestRegistration:
+    def test_parameters_registered_via_setattr(self):
+        net = Net()
+        names = [n for n, _ in net.named_parameters()]
+        assert names == ["a.weight", "b.weight"]
+
+    def test_buffers_registered(self):
+        net = Net()
+        names = [n for n, _ in net.named_buffers()]
+        assert names == ["a.calls", "b.calls"]
+
+    def test_named_modules_includes_nesting(self):
+        net = Net()
+        names = [n for n, _ in net.named_modules()]
+        assert names == ["", "a", "b"]
+
+    def test_getattr_raises_for_unknown(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            Net().nonexistent
+
+    def test_reassigning_parameter_with_plain_value_removes_it(self):
+        m = Affine()
+        m.weight = None
+        assert "weight" not in dict(m.named_parameters())
+
+    def test_num_parameters(self):
+        assert Net().num_parameters() == 2
+
+    def test_apply_visits_all_modules(self):
+        seen = []
+        Net().apply(lambda m: seen.append(type(m).__name__))
+        assert seen == ["Net", "Affine", "Affine"]
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        net = Net()
+        net.eval()
+        assert not net.training and not net.a.training
+        net.train()
+        assert net.training and net.b.training
+
+    def test_zero_grad(self):
+        net = Net()
+        out = net(Tensor(np.ones(1, dtype=np.float32)))
+        out.sum().backward()
+        assert net.a.weight.grad is not None
+        net.zero_grad()
+        assert net.a.weight.grad is None
+
+
+class TestHooks:
+    def test_forward_hook_observes_output(self):
+        m = Affine()
+        seen = []
+        m.register_forward_hook(lambda mod, inp, out: seen.append(out.data.copy()))
+        m(Tensor(np.float32([3.0])))
+        np.testing.assert_array_equal(seen[0], [6.0])
+
+    def test_forward_hook_can_replace_output(self):
+        m = Affine()
+        m.register_forward_hook(lambda mod, inp, out: out * 10)
+        out = m(Tensor(np.float32([1.0])))
+        np.testing.assert_array_equal(out.data, [20.0])
+
+    def test_forward_pre_hook_can_replace_input(self):
+        m = Affine()
+        m.register_forward_pre_hook(lambda mod, inputs: (inputs[0] * 0.0,))
+        out = m(Tensor(np.float32([5.0])))
+        np.testing.assert_array_equal(out.data, [0.0])
+
+    def test_hooks_run_in_registration_order(self):
+        m = Affine()
+        order = []
+        m.register_forward_hook(lambda *a: order.append("first"))
+        m.register_forward_hook(lambda *a: order.append("second"))
+        m(Tensor(np.float32([1.0])))
+        assert order == ["first", "second"]
+
+    def test_hook_remove(self):
+        m = Affine()
+        handle = m.register_forward_hook(lambda mod, inp, out: out * 100)
+        handle.remove()
+        out = m(Tensor(np.float32([1.0])))
+        np.testing.assert_array_equal(out.data, [2.0])
+
+    def test_hook_remove_is_idempotent(self):
+        m = Affine()
+        handle = m.register_forward_hook(lambda *a: None)
+        handle.remove()
+        handle.remove()  # must not raise
+
+    def test_removing_one_hook_keeps_others(self):
+        m = Affine()
+        h1 = m.register_forward_hook(lambda mod, inp, out: out + 1)
+        m.register_forward_hook(lambda mod, inp, out: out * 3)
+        h1.remove()
+        out = m(Tensor(np.float32([1.0])))
+        np.testing.assert_array_equal(out.data, [6.0])  # only the *3 hook ran
+
+    def test_chained_hooks_compose(self):
+        m = Affine()
+        m.register_forward_hook(lambda mod, inp, out: out + 1)
+        m.register_forward_hook(lambda mod, inp, out: out * 3)
+        out = m(Tensor(np.float32([1.0])))
+        np.testing.assert_array_equal(out.data, [9.0])  # (2 + 1) * 3
+
+    def test_gradient_flows_through_replacing_hook(self):
+        m = Affine()
+        m.register_forward_hook(lambda mod, inp, out: out * 4)
+        x = Tensor(np.float32([1.0]), requires_grad=True)
+        m(x).sum().backward()
+        np.testing.assert_array_equal(x.grad, [8.0])  # d(4*2x)/dx
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        net1.a.weight.data[0] = 42.0
+        net2.load_state_dict(net1.state_dict())
+        assert net2.a.weight.data[0] == 42.0
+
+    def test_strict_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["a.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            net.load_state_dict(state)
+
+    def test_non_strict_ignores_mismatch(self):
+        net = Net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        net.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["a.weight"] = np.zeros(5, dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        seq = nn.Sequential(Affine(), Affine())
+        out = seq(Tensor(np.float32([1.0])))
+        np.testing.assert_array_equal(out.data, [4.0])
+
+    def test_sequential_indexing_len_iter(self):
+        seq = nn.Sequential(Affine(), Affine())
+        assert len(seq) == 2
+        assert isinstance(seq[0], Affine)
+        assert len(list(iter(seq))) == 2
+
+    def test_sequential_append(self):
+        seq = nn.Sequential(Affine())
+        seq.append(Affine())
+        assert len(seq) == 2
+        assert len(list(seq.parameters())) == 2
+
+    def test_module_list(self):
+        ml = nn.ModuleList([Affine(), Affine()])
+        assert len(ml) == 2
+        ml.append(Affine())
+        assert len(list(ml.parameters())) == 3
+        assert isinstance(ml[2], Affine)
+
+    def test_repr_nests(self):
+        text = repr(Net())
+        assert "Net(" in text and "(a)" in text

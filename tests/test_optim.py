@@ -1,0 +1,127 @@
+"""Unit tests for optimizers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def quadratic_param():
+    return nn.Parameter(np.float32([5.0, -3.0]))
+
+
+def loss_of(p):
+    return (p * p).sum()
+
+
+class TestSGD:
+    def test_plain_sgd_descends(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param()
+            opt = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                loss_of(p).backward()
+                opt.step()
+            return float(np.abs(p.data).max())
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = nn.Parameter(np.float32([1.0]))
+        opt = nn.SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero data gradient
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        opt = nn.SGD([p], lr=0.1)
+        opt.step()  # no backward happened; must not raise
+        np.testing.assert_array_equal(p.data, [5.0, -3.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            nn.SGD([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            nn.SGD([quadratic_param()], lr=0.0)
+
+
+class TestAdam:
+    def test_adam_descends(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.3)
+        for _ in range(150):
+            opt.zero_grad()
+            loss_of(p).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_adam_weight_decay(self):
+        p = nn.Parameter(np.float32([1.0]))
+        opt = nn.Adam([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_zero_grad_clears(self):
+        p = quadratic_param()
+        opt = nn.Adam([p], lr=0.1)
+        loss_of(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_first_step_magnitude_is_lr(self):
+        # with bias correction, the very first Adam step is ~lr * sign(grad)
+        p = nn.Parameter(np.float32([10.0]))
+        opt = nn.Adam([p], lr=0.5)
+        loss_of(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [9.5], atol=1e-3)
+
+
+class TestSerialization:
+    def test_state_dict_npz_roundtrip(self, tmp_path, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        path = tmp_path / "model.npz"
+        nn.save_model(model, path)
+        model2 = nn.Sequential(nn.Linear(4, 8), nn.ReLU(), nn.Linear(8, 2))
+        nn.load_model(model2, path)
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        np.testing.assert_array_equal(model(x).data, model2(x).data)
+
+    def test_buffers_roundtrip(self, tmp_path, rng):
+        bn = nn.BatchNorm2d(3)
+        bn._buffers["running_mean"][:] = [1, 2, 3]
+        path = tmp_path / "bn.npz"
+        nn.save_model(bn, path)
+        bn2 = nn.BatchNorm2d(3)
+        nn.load_model(bn2, path)
+        np.testing.assert_array_equal(bn2._buffers["running_mean"], [1, 2, 3])
+
+    def test_load_state_dict_returns_ordered_mapping(self, tmp_path):
+        lin = nn.Linear(2, 2)
+        path = tmp_path / "lin.npz"
+        nn.save_state_dict(lin.state_dict(), path)
+        loaded = nn.load_state_dict(path)
+        assert list(loaded) == ["weight", "bias"]
+
+    def test_strict_load_detects_architecture_mismatch(self, tmp_path):
+        path = tmp_path / "m.npz"
+        nn.save_model(nn.Linear(2, 2), path)
+        with pytest.raises(KeyError):
+            nn.load_model(nn.Sequential(nn.Linear(2, 2)), path)

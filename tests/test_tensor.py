@@ -1,0 +1,278 @@
+"""Unit tests for the autograd tensor (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+from .gradcheck import assert_gradcheck
+
+
+def t64(rng, *shape):
+    return Tensor(rng.standard_normal(shape), requires_grad=True)
+
+
+class TestBasics:
+    def test_python_floats_default_to_float32(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_explicit_float64_ndarray_is_respected(self):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.size == 24
+        assert len(t) == 2
+
+    def test_item_and_numpy_share_memory(self):
+        t = Tensor(np.float32([5.0]))
+        assert t.item() == 5.0
+        t.numpy()[0] = 7.0
+        assert t.item() == 7.0
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+        assert d._parents == ()
+
+    def test_copy_inplace(self):
+        a = Tensor(np.zeros(3, dtype=np.float32))
+        a.copy_(np.float32([1, 2, 3]))
+        np.testing.assert_array_equal(a.data, [1, 2, 3])
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        with nn.no_grad():
+            out = a * 3
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        assert nn.is_grad_enabled()
+        with nn.no_grad():
+            assert not nn.is_grad_enabled()
+        assert nn.is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with nn.no_grad():
+                raise RuntimeError("boom")
+        assert nn.is_grad_enabled()
+
+    def test_set_grad_enabled(self):
+        nn.set_grad_enabled(False)
+        try:
+            a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+            assert not a.requires_grad  # constructor honours the global switch
+        finally:
+            nn.set_grad_enabled(True)
+
+
+class TestBackwardMechanics:
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            Tensor(np.ones(1, dtype=np.float32)).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (a * 2).backward()
+
+    def test_backward_grad_shape_mismatch(self):
+        a = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        out = a * 2
+        with pytest.raises(ValueError, match="shape"):
+            out.backward(np.ones((2, 2), dtype=np.float32))
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        (a.sum()).backward()
+        (a.sum()).backward()
+        np.testing.assert_array_equal(a.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.ones(2, dtype=np.float32), requires_grad=True)
+        a.sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        a = Tensor(np.float32([3.0]), requires_grad=True)
+        b = a * 2
+        c = a * 5
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # iterative topological sort: a 5000-op chain must not hit the
+        # Python recursion limit
+        a = Tensor(np.float32([1.0]), requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestArithmeticGradients:
+    def test_add_mul_sub_div(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 3, 4)
+        assert_gradcheck(lambda: ((a + b) * (a - b) / (b * b + 2.0)).sum(), [a, b])
+
+    def test_broadcast_add(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 4)
+        assert_gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_mul_scalar_tensor(self, rng):
+        a, b = t64(rng, 2, 3), t64(rng, 1)
+        assert_gradcheck(lambda: (a * b).sum(), [a, b])
+
+    def test_rsub_rdiv(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((3,))) + 1.0, requires_grad=True)
+        assert_gradcheck(lambda: ((2.0 - a) + (1.0 / a)).sum(), [a])
+
+    def test_pow(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((4,))) + 0.5, requires_grad=True)
+        assert_gradcheck(lambda: (a ** 3).sum(), [a])
+        with pytest.raises(TypeError):
+            a ** a
+
+    def test_neg(self, rng):
+        a = t64(rng, 3)
+        assert_gradcheck(lambda: (-a).sum(), [a])
+
+    def test_matmul_2d(self, rng):
+        a, b = t64(rng, 3, 4), t64(rng, 4, 5)
+        assert_gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_batched(self, rng):
+        a, b = t64(rng, 2, 3, 4), t64(rng, 2, 4, 5)
+        assert_gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_broadcast_batch(self, rng):
+        a, b = t64(rng, 2, 3, 4), t64(rng, 4, 5)
+        assert_gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vector_vector(self, rng):
+        a, b = t64(rng, 4), t64(rng, 4)
+        assert_gradcheck(lambda: a @ b, [a, b])
+
+
+class TestUnaryGradients:
+    def test_exp_log(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((4,))) + 0.5, requires_grad=True)
+        assert_gradcheck(lambda: (a.exp() + a.log()).sum(), [a])
+
+    def test_tanh(self, rng):
+        a = t64(rng, 5)
+        assert_gradcheck(lambda: a.tanh().sum(), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(np.abs(rng.standard_normal((4,))) + 0.5, requires_grad=True)
+        assert_gradcheck(lambda: a.sqrt().sum(), [a])
+
+    def test_abs(self, rng):
+        a = Tensor(rng.standard_normal(6) + 0.1, requires_grad=True)
+        assert_gradcheck(lambda: a.abs().sum(), [a])
+
+    def test_clamp_masks_gradient(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clamp(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self, rng):
+        a = t64(rng, 2, 3, 4)
+        assert_gradcheck(lambda: a.sum(axis=1).sum(), [a])
+        assert_gradcheck(lambda: (a.sum(axis=(0, 2), keepdims=True) ** 2).sum(), [a])
+
+    def test_mean_matches_sum_over_count(self, rng):
+        a = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        np.testing.assert_allclose(a.mean(axis=0).data, a.data.mean(axis=0), rtol=1e-6)
+
+    def test_var(self, rng):
+        a = Tensor(rng.standard_normal((5, 3)).astype(np.float32))
+        np.testing.assert_allclose(a.var(axis=0).data, a.data.var(axis=0), rtol=1e-5)
+
+    def test_max_gradient_splits_ties(self):
+        a = Tensor(np.array([1.0, 3.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self, rng):
+        a = t64(rng, 3, 4)
+        assert_gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_reshape_flatten(self, rng):
+        a = t64(rng, 2, 3, 4)
+        assert_gradcheck(lambda: (a.reshape(6, 4) ** 2).sum(), [a])
+        assert a.flatten(1).shape == (2, 12)
+
+    def test_transpose_and_swapaxes(self, rng):
+        a = t64(rng, 2, 3, 4)
+        assert_gradcheck(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+        assert a.T.shape == (4, 3, 2)
+
+    def test_getitem(self, rng):
+        a = t64(rng, 4, 5)
+        assert_gradcheck(lambda: (a[1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_integer_array(self, rng):
+        a = t64(rng, 5)
+        idx = np.array([0, 2, 2])  # repeated index must accumulate
+        assert_gradcheck(lambda: (a[idx] ** 2).sum(), [a])
+
+    def test_pad(self, rng):
+        a = t64(rng, 2, 3)
+        assert_gradcheck(lambda: (a.pad([(1, 1), (0, 2)]) ** 2).sum(), [a])
+
+    def test_cat(self, rng):
+        a, b = t64(rng, 2, 3), t64(rng, 4, 3)
+        assert_gradcheck(lambda: (nn.cat([a, b], axis=0) ** 2).sum(), [a, b])
+
+    def test_stack(self, rng):
+        a, b = t64(rng, 2, 3), t64(rng, 2, 3)
+        assert_gradcheck(lambda: (nn.stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_argmax(self):
+        a = Tensor(np.float32([[1, 5, 2], [9, 0, 1]]))
+        np.testing.assert_array_equal(a.argmax(axis=1), [1, 0])
+
+
+class TestComparisons:
+    def test_comparisons_return_bool_tensors(self):
+        a = Tensor(np.float32([1.0, 2.0, 3.0]))
+        assert (a > 1.5).data.tolist() == [False, True, True]
+        assert (a < 2.0).data.tolist() == [True, False, False]
+        assert (a >= 2.0).data.tolist() == [False, True, True]
+        assert (a <= 1.0).data.tolist() == [True, False, False]
+        assert a.eq(2.0).data.tolist() == [False, True, False]
+
+
+class TestFactories:
+    def test_zeros_ones_arange(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones(4).data.sum() == 4.0
+        np.testing.assert_array_equal(nn.arange(3).data, [0, 1, 2])
+
+    def test_randn_rand_seeded(self):
+        r1 = nn.randn(5, rng=np.random.default_rng(0))
+        r2 = nn.randn(5, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(r1.data, r2.data)
+        u = nn.rand(100, rng=np.random.default_rng(0))
+        assert (u.data >= 0).all() and (u.data < 1).all()
+
+    def test_parameter_requires_grad_despite_no_grad(self):
+        with nn.no_grad():
+            p = nn.Parameter(np.ones(2, dtype=np.float32))
+        assert p.requires_grad
