@@ -1,0 +1,105 @@
+"""Checkpoint-and-resume campaign speedup (the Gräfe et al. 2023 optimisation).
+
+A neuron injection at layer *L* leaves everything upstream of L untouched, so
+the resume engine replays the cached golden prefix and re-executes only the
+suffix.  For injections targeting the **deepest third** of the network the
+skipped prefix dominates, so the campaign must run at least **2× faster**
+than full re-execution — with logits *bit-identical* to the full-forward
+campaign (the engine's correctness contract).
+
+Reported: wall-clock for resume-on vs resume-off campaigns over the deepest
+third of the ResNet18-analogue's instrumented layers, plus cache counters.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import GoldenEye, run_campaign
+
+from .conftest import print_block
+
+INJECTIONS_PER_LAYER = 12
+SPEC = "bfp_e5m5_b16"
+
+
+def _deepest_third(platform: GoldenEye) -> list[str]:
+    names = platform.layer_names()
+    return names[-max(len(names) // 3, 1):]
+
+
+def test_resume_campaign_speedup_and_equivalence(resnet, batch):
+    model, _ = resnet
+    images, labels = batch
+    model.eval()
+
+    with GoldenEye(model, SPEC) as ge:
+        total_layers = len(ge.layer_names())
+        layers = _deepest_third(ge)
+
+        start = time.perf_counter()
+        slow = run_campaign(ge, images, labels, injections_per_layer=INJECTIONS_PER_LAYER,
+                            seed=0, layers=layers, resume=False)
+        t_full = time.perf_counter() - start
+
+        start = time.perf_counter()
+        fast = run_campaign(ge, images, labels, injections_per_layer=INJECTIONS_PER_LAYER,
+                            seed=0, layers=layers, resume=True)
+        t_resume = time.perf_counter() - start
+
+    speedup = t_full / t_resume
+    stats = fast.resume_stats
+    lines = [
+        "Campaign resume: neuron injections, deepest third of layers",
+        f"  model                 resnet18 analogue ({SPEC})",
+        f"  layers targeted       {len(layers)} of {total_layers} "
+        f"(deepest third): {', '.join(layers)}",
+        f"  injections/layer      {INJECTIONS_PER_LAYER}",
+        f"  full re-execution     {t_full * 1000:8.1f} ms",
+        f"  checkpoint-resume     {t_resume * 1000:8.1f} ms",
+        f"  speedup               {speedup:8.2f}x  (target >= 2x)",
+        f"  cache counters        {stats}",
+    ]
+    print_block("\n".join(lines))
+
+    # --- correctness: resumed campaign is bit-identical to full re-execution
+    assert fast.per_layer.keys() == slow.per_layer.keys()
+    for layer in fast.per_layer:
+        assert fast.per_layer[layer].delta_losses == \
+            slow.per_layer[layer].delta_losses, layer
+        assert fast.per_layer[layer].mismatch_rate == \
+            slow.per_layer[layer].mismatch_rate, layer
+        assert fast.per_layer[layer].sdc_rate == \
+            slow.per_layer[layer].sdc_rate, layer
+
+    # --- the headline claim: >= 2x wall-clock for deep-layer injections
+    assert stats is not None and stats["replayed"] > 0
+    assert speedup >= 2.0, f"resume speedup only {speedup:.2f}x"
+
+
+def test_resume_overhead_on_shallow_layers_is_bounded(resnet, batch):
+    """Resuming from the *first* layer skips nothing; the bookkeeping overhead
+    must stay small (< 40%) so resume can default to on."""
+    model, _ = resnet
+    images, labels = batch
+    model.eval()
+
+    with GoldenEye(model, SPEC) as ge:
+        first = ge.layer_names()[0]
+
+        start = time.perf_counter()
+        run_campaign(ge, images, labels, injections_per_layer=INJECTIONS_PER_LAYER,
+                     seed=0, layers=[first], resume=False)
+        t_full = time.perf_counter() - start
+
+        start = time.perf_counter()
+        run_campaign(ge, images, labels, injections_per_layer=INJECTIONS_PER_LAYER,
+                     seed=0, layers=[first], resume=True)
+        t_resume = time.perf_counter() - start
+
+    overhead = t_resume / t_full
+    print_block(f"Resume overhead at the shallowest layer: {overhead:5.2f}x "
+                f"(full {t_full * 1000:.1f} ms, resume {t_resume * 1000:.1f} ms)")
+    assert overhead < 1.4, f"resume bookkeeping overhead {overhead:.2f}x"

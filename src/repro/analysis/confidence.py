@@ -121,5 +121,4 @@ def confidence_stratified_sdc(
                       injected_inferences=int(counts[i]), sdc_count=int(sdcs[i]))
         for i in range(len(counts))
     ]
-    fmt = platform.spawn_format()
-    return ConfidenceStudy(format_name=fmt.name if fmt else "mixed", bins=bins)
+    return ConfidenceStudy(format_name=platform.format_name(), bins=bins)

@@ -29,9 +29,14 @@ from .metrics import (
     sdc_classify,
     softmax_probs,
 )
+from .resume import ActivationCache, CacheStats, DEFAULT_CACHE_BUDGET, ResumeSession
 from .sites import INJECTION_SITES, InjectionSite, injection_sites, site_by_name
 
 __all__ = [
+    "ActivationCache",
+    "CacheStats",
+    "DEFAULT_CACHE_BUDGET",
+    "ResumeSession",
     "GradientInjection",
     "GradientInjector",
     "FaultyTrainingResult",

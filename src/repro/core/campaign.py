@@ -6,6 +6,14 @@ bit flips at each instrumented layer — in data values or metadata — measurin
 ΔLoss and mismatches for each against the golden outcome.  This reproduces
 the experimental procedure behind Fig. 7 ("1000 unique single-bit flip
 injections for each of data and metadata at a layer-granularity").
+
+By default the campaign runs in **checkpoint-and-resume** mode
+(``resume=True``): the golden pass records every layer's output in an
+:class:`~repro.core.resume.ActivationCache`, and each injection at layer *L*
+restarts inference *from L* with the cached prefix replayed — O(suffix)
+instead of O(network) per injection, bit-identical logits (the Gräfe et al.
+2023 intermediate-state-checkpointing optimisation).  Set ``resume=False``
+to force full re-execution for every injection.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from ..nn.tensor import Tensor
 from .goldeneye import GoldenEye
 from .injection import InjectionError, MetadataInjection, ValueInjection
 from .metrics import InferenceOutcome, compare_outcomes
+from .resume import DEFAULT_CACHE_BUDGET
 
 __all__ = ["CampaignResult", "LayerCampaignResult", "run_campaign", "golden_inference"]
 
@@ -45,6 +54,8 @@ class CampaignResult:
     format_name: str
     golden_accuracy: float
     per_layer: dict[str, LayerCampaignResult]
+    #: activation-cache counters when the campaign ran in resume mode
+    resume_stats: dict | None = None
 
     def mean_delta_loss(self) -> float:
         """Network-level resilience: ΔLoss averaged across layers (§V-A)."""
@@ -79,6 +90,8 @@ def run_campaign(
     seed: int = 0,
     layers: list[str] | None = None,
     num_bits: int = 1,
+    resume: bool = True,
+    resume_budget_bytes: int | None = DEFAULT_CACHE_BUDGET,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
 
@@ -86,28 +99,42 @@ def run_campaign(
     its layer (no repeated (index, bits) pair), mirroring the paper's "1000
     unique single-bit flip injections"; ``num_bits > 1`` switches to the
     multi-bit flip error model (several bits of the same word at once).
+
+    ``resume=True`` (the default) checkpoints the golden pass and restarts
+    each injected inference from its victim layer (see module docstring);
+    ``resume_budget_bytes`` caps the activation cache (None = unlimited).
+    Results are bit-identical either way.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
     if kind not in ("value", "metadata"):
         raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
     rng = np.random.default_rng(seed)
-    golden = golden_inference(platform, images, labels)  # also warms output shapes
+    if resume:
+        platform.enable_resume(resume_budget_bytes)
+        logits = platform.capture_golden(images)  # also warms output shapes
+        golden = InferenceOutcome(logits=logits, labels=np.asarray(labels))
+    else:
+        golden = golden_inference(platform, images, labels)
 
     target_layers = layers if layers is not None else platform.layer_names()
-    fmt = platform.spawn_format()
     per_layer: dict[str, LayerCampaignResult] = {}
     for layer in target_layers:
         stats = _run_layer(platform, layer, golden, images, kind, location,
-                           injections_per_layer, rng, num_bits)
+                           injections_per_layer, rng, num_bits, use_resume=resume)
         if stats is not None:
             per_layer[layer] = stats
+    resume_stats = None
+    if resume and platform.resume_session is not None:
+        resume_stats = platform.resume_session.stats.as_dict()
+        platform.clear_resume()  # release the cached activations
     return CampaignResult(
         kind=kind,
         location=location,
-        format_name=fmt.name if fmt is not None else "mixed",
+        format_name=platform.format_name(),
         golden_accuracy=golden.accuracy,
         per_layer=per_layer,
+        resume_stats=resume_stats,
     )
 
 
@@ -121,6 +148,7 @@ def _run_layer(
     budget: int,
     rng: np.random.Generator,
     num_bits: int = 1,
+    use_resume: bool = False,
 ) -> LayerCampaignResult | None:
     engine = platform.injector
     seen: set[tuple] = set()
@@ -130,6 +158,9 @@ def _run_layer(
     performed = 0
     attempts = 0
     max_attempts = budget * 20
+    # the unique-site count is invariant across attempts: compute it once,
+    # not inside the sampling loop
+    site_space = _site_space(platform, layer, kind, location)
     while performed < budget and attempts < max_attempts:
         attempts += 1
         try:
@@ -145,14 +176,19 @@ def _run_layer(
                 key = (plan.register, plan.bits)
         except InjectionError:
             return None  # site inapplicable (e.g. metadata on a plain FP layer)
-        site_space = _site_space(platform, layer, kind, location)
         if key in seen:
             if len(seen) >= site_space:
                 break  # exhausted every unique site at this layer
             continue
         seen.add(key)
         with engine.armed(plan):
-            faulty = golden_inference(platform, images, golden.labels)
+            if use_resume:
+                faulty = InferenceOutcome(
+                    logits=platform.forward_from(layer, images),
+                    labels=golden.labels,
+                )
+            else:
+                faulty = golden_inference(platform, images, golden.labels)
         metrics = compare_outcomes(golden, faulty)
         delta_losses.append(metrics["delta_loss"])
         mismatches += metrics["mismatch_rate"]

@@ -24,8 +24,10 @@ from .. import nn
 from ..formats.base import NumberFormat
 from ..formats.bfp import BlockFloatingPoint
 from ..formats.registry import make_format
+from ..nn.tensor import Tensor
 from .detector import RangeDetector
 from .injection import InjectionEngine
+from .resume import DEFAULT_CACHE_BUDGET, ResumeSession
 
 __all__ = ["GoldenEye", "LayerState", "TARGET_KINDS", "default_target_types"]
 
@@ -112,6 +114,8 @@ class GoldenEye:
         self._attached = False
         self._format_spec = number_format
         self.layers: dict[str, LayerState] = {}
+        #: checkpoint-and-resume session (see :meth:`enable_resume`)
+        self.resume_session: ResumeSession | None = None
         self._build_layer_states(number_format, targets)
 
     # ------------------------------------------------------------------
@@ -191,6 +195,8 @@ class GoldenEye:
             state.original_weights.clear()
             state.weight_golden_metadata = None
         self._attached = False
+        # cached activations were produced under the (now removed) hooks
+        self.clear_resume()
 
     def __enter__(self) -> "GoldenEye":
         return self.attach()
@@ -239,6 +245,68 @@ class GoldenEye:
         return hook
 
     # ------------------------------------------------------------------
+    # checkpoint-and-resume partial execution (see core/resume.py)
+    # ------------------------------------------------------------------
+    def enable_resume(self, budget_bytes: int | None = DEFAULT_CACHE_BUDGET) -> ResumeSession:
+        """Create (or replace) the activation-checkpoint session.
+
+        ``budget_bytes`` caps the activation cache (LRU-evicted beyond it;
+        ``None`` = unlimited).  Call :meth:`capture_golden` afterwards to
+        record the golden pass, then :meth:`forward_from` per injection.
+        """
+        self.resume_session = ResumeSession(self.model, budget_bytes)
+        return self.resume_session
+
+    def clear_resume(self) -> None:
+        """Drop the resume session and release its cached activations."""
+        self.resume_session = None
+
+    def capture_golden(self, images: np.ndarray) -> np.ndarray:
+        """Run one clean forward pass, recording every leaf output.
+
+        Returns the golden logits.  Requires :meth:`enable_resume` first and
+        an attached platform; no injections may be armed (the recording must
+        be fault-free to be a valid checkpoint).
+        """
+        if self.resume_session is None:
+            raise RuntimeError("call enable_resume() before capture_golden()")
+        if self.injector.active:
+            raise RuntimeError("cannot record a golden pass with injections armed")
+        self.model.eval()
+        with nn.no_grad(), np.errstate(over="ignore", invalid="ignore"):
+            with self.resume_session.recording():
+                logits = self.model.forward_from(
+                    self.resume_session, Tensor(np.asarray(images, dtype=np.float32)))
+        return logits.data.copy()
+
+    def forward_from(self, layer: str, images: np.ndarray) -> np.ndarray:
+        """Resume inference from ``layer``, replaying the cached prefix.
+
+        Every leaf module that executed before ``layer``'s first appearance
+        in the recorded golden pass returns its cached output; ``layer`` and
+        everything downstream re-execute (applying any armed injections).
+        Falls back to a full forward pass — still bit-exact — when no valid
+        recording exists for this batch.  ``images`` must be the batch given
+        to :meth:`capture_golden`.
+        """
+        state = self.layers.get(layer)
+        if state is None:
+            raise KeyError(f"layer {layer!r} is not instrumented")
+        session = self.resume_session
+        start = None
+        if session is not None and session.recorded:
+            start = session.start_index_for(state.module)
+        x = Tensor(np.asarray(images, dtype=np.float32))
+        self.model.eval()
+        with nn.no_grad(), np.errstate(over="ignore", invalid="ignore"):
+            if start is None:
+                logits = self.model(x)  # fallback: full forward
+            else:
+                with session.replaying(start):
+                    logits = self.model.forward_from(session, x)
+        return logits.data.copy()
+
+    # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def layer_names(self) -> list[str]:
@@ -262,6 +330,23 @@ class GoldenEye:
         if isinstance(self._format_spec, Mapping):
             return None
         return make_format(self._format_spec)
+
+    def format_name(self) -> str:
+        """Display name of the configured format (``"mixed"`` if per-layer).
+
+        Unlike :meth:`spawn_format` this never instantiates a throwaway
+        format object for uniform configurations already materialised in a
+        layer state.
+        """
+        if isinstance(self._format_spec, Mapping):
+            return "mixed"
+        if isinstance(self._format_spec, NumberFormat):
+            return self._format_spec.name
+        for state in self.layers.values():
+            fmt = state.neuron_format or state.weight_format
+            if fmt is not None:
+                return fmt.name
+        return make_format(self._format_spec).name
 
 
 def _straight_through(original: nn.Tensor, quantized_data: np.ndarray) -> nn.Tensor:

@@ -30,7 +30,8 @@ import numpy as np
 
 from ..formats.base import NumberFormat
 from ..formats.bfp import BlockFloatingPoint
-from ..formats.bitstring import bits_to_float32, flip_bit, float32_to_bits
+from ..formats.bitstring import flip_bit
+from ..formats.vectorized import flip_value, flip_values
 
 if TYPE_CHECKING:  # pragma: no cover
     from .goldeneye import GoldenEye, LayerState
@@ -76,23 +77,9 @@ class MetadataInjection:
             raise InjectionError("at least one bit position is required")
 
 
-def _flip_value(fmt: NumberFormat | None, value: float, bit_positions: tuple[int, ...],
-                block: int = 0) -> float:
-    """Encode → flip → decode one value under ``fmt`` (FP32 fabric if None)."""
-    if fmt is None:
-        bits = float32_to_bits(value)
-        for b in bit_positions:
-            bits = flip_bit(bits, b)
-        return bits_to_float32(bits)
-    if isinstance(fmt, BlockFloatingPoint):
-        bits = fmt.real_to_format(value, block=block)
-        for b in bit_positions:
-            bits = flip_bit(bits, b)
-        return fmt.format_to_real(bits, block=block)
-    bits = fmt.real_to_format(value)
-    for b in bit_positions:
-        bits = flip_bit(bits, b)
-    return fmt.format_to_real(bits)
+# scalar encode → flip → decode lives in the formats layer now; keep the
+# module-private alias so downstream code and docs keep working
+_flip_value = flip_value
 
 
 @dataclass
@@ -173,7 +160,9 @@ class InjectionEngine:
         Every sample in the batch is one independent inference experiencing
         the same single-bit flip at the same activation site (PyTorchFI's
         batched-injection semantics), so one batched forward pass evaluates
-        the injection across the whole evaluation set at once.
+        the injection across the whole evaluation set at once.  The whole
+        batch column is corrupted in a single vectorized encode → flip →
+        decode pass (:func:`repro.formats.vectorized.flip_values`).
         """
         out = quantized.copy()
         batch = out.shape[0] if out.ndim > 1 else 1
@@ -185,16 +174,14 @@ class InjectionEngine:
                 f"per-sample output of {sample_size} elements"
             )
         fmt = state.neuron_format
-        block_size = None
+        blocks = None
         if isinstance(fmt, BlockFloatingPoint) and fmt.metadata is not None:
             block_size = fmt.metadata.block_size
-        for s in range(batch):
-            block = 0
-            if block_size is not None:
-                block = (s * sample_size + plan.flat_index) // block_size
-            corrupted = _flip_value(fmt, float(per_sample[s, plan.flat_index]),
-                                    plan.bits, block=block)
-            per_sample[s, plan.flat_index] = np.float32(corrupted)
+            blocks = (np.arange(batch, dtype=np.int64) * sample_size
+                      + plan.flat_index) // block_size
+        column = per_sample[:, plan.flat_index]
+        per_sample[:, plan.flat_index] = flip_values(fmt, column, plan.bits,
+                                                     blocks=blocks)
         self.injections_applied += 1
         return out
 

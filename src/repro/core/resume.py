@@ -1,0 +1,243 @@
+"""Checkpoint-and-resume partial execution for injection campaigns.
+
+A fault injected at layer *L* cannot change anything computed *before* L, so
+re-running the whole network for every injection wastes the entire upstream
+prefix — the inefficiency the PyTorchFI-extension work (Gräfe et al., 2023)
+removes with intermediate-state checkpointing.  This module implements that
+optimisation for GoldenEye:
+
+* during the **golden** pass a :class:`ResumeSession` records, in execution
+  order, the final (post-hook, i.e. quantized) output of every *leaf* module,
+  storing the arrays in an :class:`ActivationCache` with an explicit memory
+  budget and LRU eviction;
+* for an injection at layer L the campaign calls
+  :meth:`repro.core.goldeneye.GoldenEye.forward_from`, which re-runs the
+  model under the session in *replay* mode: every leaf call that executed
+  before L's first appearance returns its cached golden output (skipping the
+  layer's compute, quantization hook and injection check entirely), while L
+  and everything downstream execute normally — with the armed corruption
+  applied by the usual hook machinery.
+
+Correctness does not depend on the cache being complete: a cache miss (LRU
+eviction, budget-skipped tensor) simply recomputes that one module with the
+bit-exact inputs reconstructed from its replayed predecessors, and a
+structural divergence (model edited between record and replay) permanently
+falls back to full execution for the rest of the pass.  Resumed logits are
+therefore always bit-identical to a full forward under the same plans.
+
+Weight injections resume from the victim layer too: a corrupted weight (or
+weight-metadata register) only affects the victim layer's own computation
+and its downstream consumers, so the upstream prefix replays unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.module import COMPUTE, Module
+from ..nn.tensor import Tensor
+
+__all__ = ["ActivationCache", "CacheStats", "ResumeSession",
+           "DEFAULT_CACHE_BUDGET"]
+
+#: default activation-cache memory budget (bytes)
+DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one session's cache behaviour."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    skipped: int = 0  # tensors larger than the whole budget, never stored
+    replayed: int = 0  # leaf calls answered from cache during replay
+    recomputed: int = 0  # leaf calls before the start index that had to re-run
+    diverged: int = 0  # replay passes that fell back to full execution
+
+    def as_dict(self) -> dict:
+        return {k: getattr(self, k) for k in
+                ("hits", "misses", "evictions", "skipped",
+                 "replayed", "recomputed", "diverged")}
+
+
+class ActivationCache:
+    """LRU cache of numpy arrays under an explicit byte budget.
+
+    Keys are opaque (the session uses execution positions).  An array larger
+    than the whole budget is never stored; inserting evicts least-recently
+    used entries until the new array fits.  ``budget_bytes=None`` disables
+    the limit (cache everything).
+    """
+
+    def __init__(self, budget_bytes: int | None = DEFAULT_CACHE_BUDGET):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(f"budget_bytes must be >= 0 or None, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[object, np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held."""
+        return self._bytes
+
+    def put(self, key, array: np.ndarray) -> bool:
+        """Store ``array``; return False if it exceeds the whole budget."""
+        size = array.nbytes
+        if self.budget_bytes is not None and size > self.budget_bytes:
+            self.stats.skipped += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        if self.budget_bytes is not None:
+            while self._entries and self._bytes + size > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.stats.evictions += 1
+        self._entries[key] = array
+        self._bytes += size
+        return True
+
+    def get(self, key) -> np.ndarray | None:
+        """Fetch ``key`` (refreshing its LRU position) or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def drop(self, key) -> None:
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+
+class ResumeSession:
+    """One recorded golden pass over a model, replayable from any layer.
+
+    Implements the replay-controller protocol consumed by
+    :meth:`repro.nn.Module.forward_from` (``intercept`` / ``record``).  The
+    session is keyed by *execution position*: the i-th leaf-module call of
+    the recorded pass.  Position matching makes weight-shared modules (one
+    module object executing several times) resume correctly — the start
+    index of a layer is its module's **first** execution, so every execution
+    of the victim recomputes.
+
+    The session is only valid for the exact inputs of the recorded pass;
+    record a new pass (``recording()``) whenever the evaluation batch
+    changes.
+    """
+
+    def __init__(self, model: Module,
+                 budget_bytes: int | None = DEFAULT_CACHE_BUDGET):
+        self.model = model
+        self.cache = ActivationCache(budget_bytes)
+        self._leaf_ids = {
+            id(m) for _, m in model.named_modules()
+            if not any(True for _ in m.children())
+        }
+        #: module ids in recorded execution order (one entry per leaf call)
+        self.order: list[int] = []
+        #: id(module) -> first execution position
+        self._first_index: dict[int, int] = {}
+        self._mode = "idle"  # "idle" | "record" | "replay"
+        self._pos = 0
+        self._start = 0
+        self._pass_diverged = False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def recorded(self) -> bool:
+        return bool(self.order)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def start_index_for(self, module: Module) -> int | None:
+        """First recorded execution position of ``module`` (None if absent)."""
+        return self._first_index.get(id(module))
+
+    # ------------------------------------------------------------------
+    # replay-controller protocol (called from Module.__call__)
+    # ------------------------------------------------------------------
+    def intercept(self, module: Module, inputs):
+        if self._mode != "replay" or self._pass_diverged:
+            return COMPUTE
+        if id(module) not in self._leaf_ids:
+            return COMPUTE
+        pos = self._pos
+        self._pos += 1
+        if pos >= self._start:
+            return COMPUTE
+        if pos >= len(self.order) or self.order[pos] != id(module):
+            # model structure changed since the recording: stop trusting the
+            # cache and finish this pass (and any until re-recorded) fully
+            self._pass_diverged = True
+            self.cache.stats.diverged += 1
+            return COMPUTE
+        cached = self.cache.get(pos)
+        if cached is None:
+            self.cache.stats.recomputed += 1
+            return COMPUTE  # evicted / skipped: recompute with exact inputs
+        self.cache.stats.replayed += 1
+        return Tensor(cached)
+
+    def record(self, module: Module, inputs, output) -> None:
+        if self._mode != "record" or id(module) not in self._leaf_ids:
+            return
+        pos = self._pos
+        self._pos += 1
+        self.order.append(id(module))
+        self._first_index.setdefault(id(module), pos)
+        if isinstance(output, Tensor):
+            self.cache.put(pos, output.data)
+
+    # ------------------------------------------------------------------
+    # pass scoping
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def recording(self):
+        """Scope one golden forward pass; wipes any previous recording."""
+        self.order.clear()
+        self._first_index.clear()
+        self.cache.clear()
+        self._mode, self._pos = "record", 0
+        try:
+            yield self
+        finally:
+            self._mode = "idle"
+
+    @contextlib.contextmanager
+    def replaying(self, start_index: int):
+        """Scope one resumed pass: replay leaf calls before ``start_index``."""
+        if not self.recorded:
+            raise RuntimeError("no golden pass recorded; use recording() first")
+        self._mode, self._pos, self._start = "replay", 0, int(start_index)
+        self._pass_diverged = False
+        try:
+            yield self
+        finally:
+            self._mode = "idle"

@@ -25,6 +25,7 @@ from .intq import IntegerQuant
 from .posit import Posit
 from .ranges import DynamicRange, dynamic_range
 from .registry import NAMED_FORMATS, available_formats, make_format, register_format
+from .vectorized import flip_value, flip_values
 
 __all__ = [
     "NumberFormat",
@@ -38,6 +39,8 @@ __all__ = [
     "AdaptivFloat",
     "Bitstring",
     "flip_bit",
+    "flip_value",
+    "flip_values",
     "bits_to_uint",
     "uint_to_bits",
     "int_to_twos_complement",

@@ -15,6 +15,24 @@ hardware-aware injection different from value injection (§II-B).
 Element layout: ``[sign | mantissa]`` (``1 + mantissa_bits`` bits).  An
 element value is ``(-1)^sign * mantissa * 2^(E - mantissa_bits + 1)`` where
 ``E`` is the block's shared exponent.
+
+Rounding-carry semantics
+------------------------
+The shared exponent starts at ``floor(log2(peak))`` of the block's largest
+finite magnitude.  Round-to-nearest can then *carry*: a peak just below the
+next power of two (e.g. ``63.875`` with a 7-bit mantissa) rounds to
+``max_mantissa + 1``, which does not fit in the mantissa field.  When that
+happens the block's shared exponent is incremented by one (re-clamped to the
+exponent-register range) and every mantissa in the block is re-rounded on the
+coarser grid, exactly as a hardware normalise-after-round stage would.  This
+preserves the half-granularity error bound ``|x - q(x)| <= gran/2`` for every
+in-range value (§II-A).  Only when the register is already saturated at
+``max_exp_field`` does the mantissa clip instead (true dynamic-range
+saturation, not a rounding artefact).  The scalar :meth:`real_to_format` path
+never carries: its block exponent is fixed metadata captured by the tensor
+pass, so values that would overflow the mantissa field saturate against the
+register — matching bit-for-bit what the tensor pass stored (see the
+scalar↔tensor parity tests).
 """
 
 from __future__ import annotations
@@ -117,6 +135,18 @@ class BlockFloatingPoint(NumberFormat):
         shared_exp = raw_exp - 1  # floor(log2 peak); all-zero blocks masked below
         exp_fields = np.clip(shared_exp + self.exp_bias, 0, self.max_exp_field).astype(np.int64)
         shared_exp = exp_fields - self.exp_bias  # after clamping to the register range
+
+        # rounding carry (see module docstring): when the block peak rounds to
+        # max_mantissa + 1, bump the shared exponent instead of clipping so the
+        # gran/2 error bound holds.  One bump always suffices: after doubling
+        # the granularity the peak rounds to <= 2^(mantissa_bits - 1).
+        granularity_1d = np.exp2(shared_exp - self.mantissa_bits + 1)
+        carry = np.round(peak / granularity_1d) > self.max_mantissa
+        bump = carry & (exp_fields < self.max_exp_field)
+        if bump.any():
+            exp_fields = exp_fields + bump.astype(np.int64)
+            shared_exp = exp_fields - self.exp_bias
+
         self.metadata = BfpMetadata(exp_fields=exp_fields, block_size=block_size, numel=numel)
 
         granularity = np.exp2(shared_exp - self.mantissa_bits + 1)[:, None]

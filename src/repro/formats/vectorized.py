@@ -1,0 +1,137 @@
+"""Vectorized encode → flip → decode kernels for batched error injection.
+
+The paper's injection routine (§III-B) is scalar: ``real_to_format`` one
+victim value, flip bits in the bitstring, ``format_to_real`` it back.  A
+batched campaign applies the *same* flip at the same activation site of every
+sample in the batch (PyTorchFI's batched-injection semantics), which makes
+the scalar loop the hot path.  This module provides :func:`flip_values`, a
+single-pass numpy implementation of the same semantics — the QPyTorch-style
+"vectorize the quantization kernel" optimisation:
+
+* native FP32 fabric (``fmt is None``) — reinterpret the float32 batch as
+  ``uint32``, XOR one mask, reinterpret back;
+* :class:`~repro.formats.bfp.BlockFloatingPoint` — closed-form
+  sign/mantissa arithmetic under each element's block register;
+* any other format — scalar fallback memoized over unique
+  ``(value, block)`` pairs, so repeated quantized values (the common case
+  after ``real_to_format_tensor``) encode only once.
+
+Every path is bit-for-bit equivalent to the scalar :func:`flip_value` (see
+``tests/test_injection.py`` parity coverage).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import NumberFormat
+from .bfp import BlockFloatingPoint
+from .bitstring import bits_to_float32, flip_bit, float32_to_bits
+
+__all__ = ["flip_value", "flip_values"]
+
+
+def flip_value(fmt: NumberFormat | None, value: float,
+               bit_positions: Sequence[int], block: int = 0) -> float:
+    """Encode → flip → decode one value under ``fmt`` (FP32 fabric if None)."""
+    if fmt is None:
+        bits = float32_to_bits(value)
+        for b in bit_positions:
+            bits = flip_bit(bits, b)
+        return bits_to_float32(bits)
+    if isinstance(fmt, BlockFloatingPoint):
+        bits = fmt.real_to_format(value, block=block)
+        for b in bit_positions:
+            bits = flip_bit(bits, b)
+        return fmt.format_to_real(bits, block=block)
+    bits = fmt.real_to_format(value)
+    for b in bit_positions:
+        bits = flip_bit(bits, b)
+    return fmt.format_to_real(bits)
+
+
+def flip_values(fmt: NumberFormat | None, values: np.ndarray,
+                bit_positions: Sequence[int],
+                blocks: np.ndarray | None = None) -> np.ndarray:
+    """Apply the same bit flip to every element of ``values`` in one pass.
+
+    Parameters
+    ----------
+    fmt:
+        The victim layer's number format (``None`` = native FP32 fabric).
+    values:
+        1-D float array of victim values, one per batch sample.
+    bit_positions:
+        MSB-first bit indices to flip (position 0 is the sign bit).
+    blocks:
+        For block formats: per-element block-register index (same length as
+        ``values``); ignored otherwise.
+
+    Returns
+    -------
+    ``float32`` array of corrupted values, same shape as ``values``.
+    """
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    if fmt is None:
+        return _flip_fp32_fabric(flat, bit_positions)
+    if isinstance(fmt, BlockFloatingPoint):
+        return _flip_bfp(fmt, flat, bit_positions, blocks)
+    return _flip_memoized(fmt, flat, bit_positions)
+
+
+# ----------------------------------------------------------------------
+# native FP32: one XOR over the reinterpreted batch
+# ----------------------------------------------------------------------
+def _flip_fp32_fabric(values: np.ndarray, bit_positions: Sequence[int]) -> np.ndarray:
+    mask = np.uint32(0)
+    for b in bit_positions:
+        if not 0 <= b < 32:
+            raise IndexError(f"bit position {b} out of range for 32-bit value")
+        mask |= np.uint32(1) << np.uint32(31 - b)
+    raw = values.view(np.uint32) ^ mask
+    return raw.view(np.float32).copy()
+
+
+# ----------------------------------------------------------------------
+# BFP: closed-form sign/mantissa arithmetic under the block registers
+# ----------------------------------------------------------------------
+def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray,
+              bit_positions: Sequence[int],
+              blocks: np.ndarray | None) -> np.ndarray:
+    meta = fmt._require_metadata()
+    if blocks is None:
+        blocks = np.zeros(values.size, dtype=np.int64)
+    blocks = np.asarray(blocks, dtype=np.int64).reshape(-1)
+    shared_exp = meta.exp_fields[blocks] - fmt.exp_bias
+    gran = np.exp2(shared_exp.astype(np.float64) - fmt.mantissa_bits + 1)
+
+    v64 = values.astype(np.float64)
+    mant = np.round(np.abs(v64) / gran)
+    mant = np.nan_to_num(mant, nan=0.0, posinf=float(fmt.max_mantissa))
+    mant = np.clip(mant, 0, fmt.max_mantissa).astype(np.int64)
+    sign = (v64 < 0).astype(np.int64)  # matches the scalar encoder exactly
+
+    for b in bit_positions:
+        if not 0 <= b < fmt.bit_width:
+            raise IndexError(f"bit position {b} out of range for {fmt.bit_width}-bit value")
+        if b == 0:
+            sign ^= 1
+        else:
+            mant ^= 1 << (fmt.mantissa_bits - b)
+
+    out = np.where(sign == 1, -1.0, 1.0) * mant * gran
+    return out.astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# generic formats: scalar kernel memoized over unique values
+# ----------------------------------------------------------------------
+def _flip_memoized(fmt: NumberFormat, values: np.ndarray,
+                   bit_positions: Sequence[int]) -> np.ndarray:
+    uniques, inverse = np.unique(values, return_inverse=True)
+    corrupted = np.empty(uniques.size, dtype=np.float32)
+    for i, v in enumerate(uniques):
+        corrupted[i] = np.float32(flip_value(fmt, float(v), bit_positions))
+    return corrupted[inverse].reshape(values.shape)

@@ -12,6 +12,18 @@ surface on the numpy substrate:
 
 Both return a :class:`HookHandle` whose ``remove()`` detaches the hook, so a
 GoldenEye instance can cleanly instrument and de-instrument any model.
+
+Partial (checkpoint-and-resume) execution
+-----------------------------------------
+:meth:`Module.forward_from` runs a forward pass under a *replay controller* —
+an object with ``intercept(module, inputs)`` and ``record(module, inputs,
+output)`` methods (see :class:`repro.core.resume.ResumeSession`).  Before a
+module computes, the controller's ``intercept`` may return a previously
+cached output (skipping pre-hooks, ``forward`` *and* post-hooks for that
+call); returning the :data:`COMPUTE` sentinel means "execute normally".
+After a normal execution, ``record`` observes the output.  This is the
+mechanism that lets an injection campaign restart inference *from* a victim
+layer, replaying cached golden activations for everything upstream.
 """
 
 from __future__ import annotations
@@ -24,7 +36,11 @@ import numpy as np
 
 from .tensor import Parameter, Tensor
 
-__all__ = ["Module", "HookHandle", "Sequential", "ModuleList"]
+__all__ = ["Module", "HookHandle", "Sequential", "ModuleList", "COMPUTE"]
+
+#: sentinel returned by a replay controller's ``intercept`` to mean
+#: "no cached output — run this module's forward normally"
+COMPUTE = object()
 
 
 class HookHandle:
@@ -42,6 +58,10 @@ class HookHandle:
 
 class Module:
     """Base class for all neural-network layers and models."""
+
+    #: active replay controller, installed process-wide by :meth:`forward_from`
+    #: (one forward pass at a time — the numpy substrate is single-threaded)
+    _replay_controller = None
 
     def __init__(self):
         self._parameters: OrderedDict[str, Parameter] = OrderedDict()
@@ -152,6 +172,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *inputs):
+        controller = Module._replay_controller
+        if controller is not None:
+            replayed = controller.intercept(self, inputs)
+            if replayed is not COMPUTE:
+                return replayed
         for hook in tuple(self._forward_pre_hooks.values()):
             result = hook(self, inputs)
             if result is not None:
@@ -161,7 +186,24 @@ class Module:
             result = hook(self, inputs, output)
             if result is not None:
                 output = result
+        if controller is not None:
+            controller.record(self, inputs, output)
         return output
+
+    def forward_from(self, controller, *inputs):
+        """Run one forward pass with ``controller`` intercepting module calls.
+
+        ``controller`` implements the replay protocol (``intercept`` /
+        ``record``); see the module docstring.  The controller is installed
+        for the dynamic extent of this call only, then the previous one (if
+        any) is restored — so nested / re-entrant use is safe.
+        """
+        previous = Module._replay_controller
+        Module._replay_controller = controller
+        try:
+            return self(*inputs)
+        finally:
+            Module._replay_controller = previous
 
     # ------------------------------------------------------------------
     # state dict

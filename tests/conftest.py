@@ -1,15 +1,27 @@
 """Shared fixtures: a small deterministic dataset and a trained model.
 
 Session-scoped so the (pure-numpy) training cost is paid once per test run.
+
+Hypothesis profiles: ``dev`` (default) keeps the randomized search; ``ci``
+derandomizes it so carry-style regressions fail loudly and reproducibly in
+CI.  Select with ``HYPOTHESIS_PROFILE=ci``.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.data import SyntheticImageNet, make_splits, train
 from repro.models import simple_cnn
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          max_examples=50, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.formats import BlockFloatingPoint, MetadataError, flip_bit
 
@@ -193,8 +193,83 @@ class TestMetadata:
         assert fmt.apply_metadata_corruption(q, golden).shape == (3, 7)
 
 
+class TestRoundingCarry:
+    """Round-to-nearest carrying past ``max_mantissa`` must bump the shared
+    exponent, not clip (the ``[63.875]`` falsifying example, pinned)."""
+
+    def test_regression_63_875_bumps_exponent(self):
+        # 63.875 has floor(log2) == 5; round(63.875 / 2^-1) == 128 > 127, so
+        # the shared exponent must carry to 6 and the value quantize to 64.0.
+        fmt = BlockFloatingPoint(8, 7, block_size=8)
+        q = fmt.real_to_format_tensor(np.float32([63.875]))
+        shared = int(fmt.metadata.exp_fields[0]) - fmt.exp_bias
+        assert shared == 6
+        assert q[0] == 64.0
+        gran = 2.0 ** (shared - fmt.mantissa_bits + 1)
+        assert abs(63.875 - float(q[0])) <= gran / 2
+
+    def test_carry_rescales_whole_block(self):
+        # the bump coarsens every element of the carrying block, not just the peak
+        fmt = BlockFloatingPoint(8, 3, block_size=4)
+        x = np.float32([15.5, 1.0, -0.5, 0.25, 1.0, 1.0, 1.0, 1.0])
+        q = fmt.real_to_format_tensor(x)
+        exps = fmt.metadata.exp_fields - fmt.exp_bias
+        assert exps[0] == 4  # 15.5 / 2^(3-3+1=1)... round(15.5/2)=8 > 7 -> carry
+        assert exps[1] == 0  # second block unaffected
+        gran0 = 2.0 ** (int(exps[0]) - fmt.mantissa_bits + 1)
+        for orig, quant in zip(x[:4], q[:4]):
+            assert abs(float(orig) - float(quant)) <= gran0 / 2 + 1e-9
+
+    def test_no_bump_when_register_saturated(self):
+        # at max_exp_field the carry cannot bump: mantissas saturate instead
+        fmt = BlockFloatingPoint(2, 5, block_size=None)
+        q = fmt.real_to_format_tensor(np.float32([1e10]))
+        assert fmt.metadata.exp_fields[0] == fmt.max_exp_field
+        assert np.isfinite(q).all()
+
+    def test_idempotent_after_carry(self):
+        fmt = BlockFloatingPoint(8, 7, block_size=8)
+        once = fmt.real_to_format_tensor(np.float32([63.875, 1.0, -0.125]))
+        np.testing.assert_array_equal(fmt.real_to_format_tensor(once), once)
+
+
+class TestScalarTensorParity:
+    """The scalar path must operate on the exact bits the tensor path stored,
+    so ``InjectionEngine._flip_value`` corrupts what the hardware holds."""
+
+    @settings(max_examples=50, deadline=None)
+    @example(values=[63.875])
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                    min_size=1, max_size=32))
+    def test_scalar_encoding_matches_tensor_path(self, values):
+        fmt = BlockFloatingPoint(8, 7, block_size=4)
+        x = np.float32(values)
+        q = fmt.real_to_format_tensor(x)
+        for i, v in enumerate(x):
+            block = i // fmt.metadata.block_size
+            bits_raw = fmt.real_to_format(float(v), block=block)
+            bits_quant = fmt.real_to_format(float(q[i]), block=block)
+            # mantissa bits agree exactly; sign may differ only for ±0
+            assert bits_raw[1:] == bits_quant[1:]
+            if bits_raw[1:] != [0] * fmt.mantissa_bits:
+                assert bits_raw == bits_quant
+            decoded = np.float32(fmt.format_to_real(bits_raw, block=block))
+            assert decoded == q[i] or (decoded == 0.0 and q[i] == 0.0)
+
+    def test_scalar_saturates_against_fixed_register(self):
+        # the block exponent is fixed metadata: a value larger than the block
+        # peak clips to max_mantissa (saturation, not a rounding carry)
+        fmt = BlockFloatingPoint(8, 7, block_size=2)
+        fmt.real_to_format_tensor(np.float32([1.0, 0.5]))
+        bits = fmt.real_to_format(1e6, block=0)
+        assert bits[1:] == [1] * fmt.mantissa_bits
+        assert fmt.format_to_real(bits, block=0) == pytest.approx(
+            fmt.max_mantissa * 2.0 ** (0 - fmt.mantissa_bits + 1))
+
+
 class TestProperties:
     @settings(max_examples=50, deadline=None)
+    @example(values=[63.875])
     @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
                     min_size=1, max_size=32))
     def test_error_bounded_by_block_granularity(self, values):

@@ -248,3 +248,86 @@ class TestSampling:
         assert len(plan.bits) == 3
         assert len(set(plan.bits)) == 3  # without replacement
         ge.detach()
+
+
+class TestVectorizedFlipParity:
+    """The batched encode→flip→decode kernel must match the scalar path
+    bit-for-bit for every format family (it is what the neuron hot path
+    now runs)."""
+
+    SPECS = [None, "fp16", "fp8", "int8", "fxp_1_3_4", "afp_e5m2", "posit8"]
+
+    @pytest.mark.parametrize("spec", SPECS)
+    def test_matches_scalar_kernel(self, spec, rng):
+        from repro.formats import flip_value, flip_values, make_format
+
+        fmt = make_format(spec) if spec is not None else None
+        values = (rng.standard_normal(48) * 3).astype(np.float32)
+        if fmt is not None:
+            values = fmt.real_to_format_tensor(values)
+        for bits in [(0,), (1,), (0, 2)]:
+            vec = flip_values(fmt, values, bits)
+            ref = np.array([np.float32(flip_value(fmt, float(v), bits))
+                            for v in values], dtype=np.float32)
+            same = (vec == ref) | (np.isnan(vec) & np.isnan(ref))
+            assert same.all(), (spec, bits)
+
+    def test_bfp_matches_scalar_kernel_per_block(self, rng):
+        from repro.formats import BlockFloatingPoint, flip_value, flip_values
+
+        fmt = BlockFloatingPoint(8, 7, block_size=4)
+        values = fmt.real_to_format_tensor(
+            rng.standard_normal(32).astype(np.float32))
+        blocks = np.arange(32) // 4
+        for bits in [(0,), (1,), (7,), (0, 7)]:
+            vec = flip_values(fmt, values, bits, blocks=blocks)
+            ref = np.array([np.float32(flip_value(fmt, float(v), bits, block=int(b)))
+                            for v, b in zip(values, blocks)], dtype=np.float32)
+            np.testing.assert_array_equal(vec, ref, err_msg=str(bits))
+
+    def test_fp32_fabric_is_pure_xor(self):
+        from repro.formats import flip_values
+
+        out = flip_values(None, np.float32([1.0, -2.5]), (0,))
+        np.testing.assert_array_equal(out, np.float32([-1.0, 2.5]))
+
+    def test_out_of_range_bit_raises(self):
+        from repro.formats import BlockFloatingPoint, flip_values
+
+        with pytest.raises(IndexError):
+            flip_values(None, np.float32([1.0]), (32,))
+        fmt = BlockFloatingPoint(5, 5, block_size=None)
+        fmt.real_to_format_tensor(np.float32([1.0]))
+        with pytest.raises(IndexError):
+            flip_values(fmt, np.float32([1.0]), (6,))
+
+    def test_batched_neuron_corruption_matches_per_sample_loop(self, model, x, labels):
+        """End-to-end: ``_corrupt_neuron_value`` reproduces the historical
+        per-sample scalar loop, including per-sample BFP block lookup."""
+        from repro.formats import flip_value
+        from repro.formats.bfp import BlockFloatingPoint
+
+        ge = GoldenEye(model, "bfp_e5m5_b16").attach()
+        golden_inference(ge, x, labels)
+        state = ge.layers["conv1"]
+        plan = ValueInjection("conv1", "neuron", 5, (0, 3))
+
+        # capture the quantized-but-uncorrupted output of the victim layer
+        quantized = state.neuron_format.real_to_format_tensor(
+            np.random.default_rng(0).standard_normal(
+                state.last_output_shape).astype(np.float32))
+        out = ge.injector._corrupt_neuron_value(state, plan, quantized)
+
+        # per-sample scalar reference (the pre-vectorization implementation)
+        fmt = state.neuron_format
+        expected = quantized.copy()
+        batch = expected.shape[0]
+        per_sample = expected.reshape(batch, -1)
+        sample_size = per_sample.shape[1]
+        for s in range(batch):
+            block = (s * sample_size + plan.flat_index) // fmt.metadata.block_size
+            per_sample[s, plan.flat_index] = np.float32(
+                flip_value(fmt, float(per_sample[s, plan.flat_index]),
+                           plan.bits, block=block))
+        np.testing.assert_array_equal(out, expected)
+        ge.detach()

@@ -1,0 +1,322 @@
+"""Checkpoint-and-resume engine: cache behaviour and bit-exact equivalence.
+
+The contract under test: for any injection at layer L, restarting inference
+from L with the cached golden prefix must produce logits *bit-identical* to a
+full forward pass under the same armed plans — on the CNN and the DeiT
+transformer alike — and every degraded mode (evicted cache entries, missing
+recording, structural divergence) must fall back gracefully while keeping
+that equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActivationCache,
+    GoldenEye,
+    MetadataInjection,
+    ResumeSession,
+    ValueInjection,
+    run_campaign,
+)
+from repro.core.campaign import golden_inference
+from repro.models import simple_cnn
+from repro.models.deit import deit_tiny
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(42)
+    images = rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+    labels = rng.integers(0, 6, 4)
+    return images, labels
+
+
+@pytest.fixture()
+def cnn():
+    model = simple_cnn(num_classes=6, seed=0)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def deit():
+    model = deit_tiny(num_classes=6, seed=0)
+    model.eval()
+    return model
+
+
+# ----------------------------------------------------------------------
+# ActivationCache
+# ----------------------------------------------------------------------
+class TestActivationCache:
+    def test_put_get_roundtrip(self):
+        cache = ActivationCache(budget_bytes=None)
+        arr = np.arange(8, dtype=np.float32)
+        assert cache.put(0, arr)
+        assert cache.get(0) is arr
+        assert cache.stats.hits == 1
+
+    def test_budget_evicts_lru(self):
+        cache = ActivationCache(budget_bytes=3 * 40)  # three 10-float arrays
+        for k in range(3):
+            cache.put(k, np.zeros(10, dtype=np.float32))
+        cache.get(0)  # refresh 0: key 1 becomes LRU
+        cache.put(3, np.zeros(10, dtype=np.float32))
+        assert 0 in cache and 3 in cache
+        assert 1 not in cache
+        assert cache.stats.evictions == 1
+        assert cache.nbytes <= 3 * 40
+
+    def test_oversize_tensor_never_stored(self):
+        cache = ActivationCache(budget_bytes=16)
+        assert not cache.put(0, np.zeros(100, dtype=np.float32))
+        assert 0 not in cache
+        assert cache.stats.skipped == 1
+
+    def test_replace_same_key_updates_bytes(self):
+        cache = ActivationCache(budget_bytes=None)
+        cache.put(0, np.zeros(10, dtype=np.float32))
+        cache.put(0, np.zeros(5, dtype=np.float32))
+        assert cache.nbytes == 5 * 4
+        assert len(cache) == 1
+
+    def test_clear(self):
+        cache = ActivationCache()
+        cache.put(0, np.zeros(4, dtype=np.float32))
+        cache.clear()
+        assert len(cache) == 0 and cache.nbytes == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ActivationCache(budget_bytes=-1)
+
+
+# ----------------------------------------------------------------------
+# resumed-vs-full equivalence (clean and injected)
+# ----------------------------------------------------------------------
+class TestResumedEquivalence:
+    @pytest.mark.parametrize("spec", ["fp16", "bfp_e5m5_b16"])
+    def test_clean_resume_bit_exact_every_layer_cnn(self, cnn, batch, spec):
+        images, labels = batch
+        with GoldenEye(cnn, spec) as ge:
+            ge.enable_resume()
+            golden = ge.capture_golden(images)
+            for layer in ge.layer_names():
+                resumed = ge.forward_from(layer, images)
+                np.testing.assert_array_equal(resumed, golden, err_msg=layer)
+
+    def test_clean_resume_bit_exact_every_layer_deit(self, deit, batch):
+        images, _ = batch
+        with GoldenEye(deit, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            golden = ge.capture_golden(images)
+            for layer in ge.layer_names():
+                resumed = ge.forward_from(layer, images)
+                np.testing.assert_array_equal(resumed, golden, err_msg=layer)
+
+    def test_capture_matches_plain_golden_inference(self, cnn, batch):
+        images, labels = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            recorded = ge.capture_golden(images)
+            plain = golden_inference(ge, images, labels).logits
+            np.testing.assert_array_equal(recorded, plain)
+
+    @pytest.mark.parametrize("model_name", ["cnn", "deit"])
+    def test_neuron_injection_resume_matches_full(self, model_name, cnn, deit, batch):
+        model = cnn if model_name == "cnn" else deit
+        images, labels = batch
+        rng = np.random.default_rng(7)
+        with GoldenEye(model, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            ge.capture_golden(images)
+            for layer in (ge.layer_names()[0], ge.layer_names()[-1]):
+                plan = ge.injector.sample_value_injection(rng, layer=layer)
+                with ge.injector.armed(plan):
+                    full = golden_inference(ge, images, labels).logits
+                with ge.injector.armed(plan):
+                    resumed = ge.forward_from(layer, images)
+                np.testing.assert_array_equal(resumed, full, err_msg=layer)
+
+    def test_metadata_injection_resume_matches_full(self, cnn, batch):
+        images, labels = batch
+        rng = np.random.default_rng(11)
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            ge.capture_golden(images)
+            layer = ge.layer_names()[-1]
+            plan = ge.injector.sample_metadata_injection(rng, layer=layer)
+            with ge.injector.armed(plan):
+                full = golden_inference(ge, images, labels).logits
+            with ge.injector.armed(plan):
+                resumed = ge.forward_from(layer, images)
+            np.testing.assert_array_equal(resumed, full)
+
+    def test_deep_layer_skips_prefix(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            session = ge.enable_resume()
+            ge.capture_golden(images)
+            before = session.stats.replayed
+            ge.forward_from(ge.layer_names()[-1], images)
+            # the deepest instrumented layer sits behind several leaf modules,
+            # all of which must come from the cache
+            assert session.stats.replayed - before >= 3
+            assert session.stats.diverged == 0
+
+
+# ----------------------------------------------------------------------
+# weight injections resume from the victim layer too
+# ----------------------------------------------------------------------
+class TestWeightInjectionResume:
+    def test_weight_value_injection_matches_full(self, cnn, batch):
+        images, labels = batch
+        rng = np.random.default_rng(3)
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            golden = ge.capture_golden(images)
+            for layer in ge.layer_names():
+                plan = ge.injector.sample_value_injection(rng, layer=layer,
+                                                          location="weight")
+                with ge.injector.armed(plan):
+                    full = golden_inference(ge, images, labels).logits
+                with ge.injector.armed(plan):
+                    resumed = ge.forward_from(layer, images)
+                np.testing.assert_array_equal(resumed, full, err_msg=layer)
+            # disarm restored the weights: a clean resumed pass is golden again
+            np.testing.assert_array_equal(
+                ge.forward_from(ge.layer_names()[0], images), golden)
+
+    def test_weight_metadata_injection_matches_full(self, cnn, batch):
+        images, labels = batch
+        rng = np.random.default_rng(5)
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            ge.enable_resume()
+            ge.capture_golden(images)
+            layer = ge.layer_names()[-1]
+            plan = ge.injector.sample_metadata_injection(rng, layer=layer,
+                                                         location="weight")
+            with ge.injector.armed(plan):
+                full = golden_inference(ge, images, labels).logits
+            with ge.injector.armed(plan):
+                resumed = ge.forward_from(layer, images)
+            np.testing.assert_array_equal(resumed, full)
+
+
+# ----------------------------------------------------------------------
+# degraded modes stay bit-exact
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def test_eviction_fallback_recomputes_bit_exact(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            # budget fits roughly one activation tensor: most entries evicted
+            session = ge.enable_resume(budget_bytes=64 * 1024)
+            golden = ge.capture_golden(images)
+            assert session.stats.evictions + session.stats.skipped > 0
+            resumed = ge.forward_from(ge.layer_names()[-1], images)
+            np.testing.assert_array_equal(resumed, golden)
+            assert session.stats.recomputed > 0  # fell back module-by-module
+
+    def test_zero_budget_still_bit_exact(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            ge.enable_resume(budget_bytes=0)
+            golden = ge.capture_golden(images)
+            resumed = ge.forward_from(ge.layer_names()[-1], images)
+            np.testing.assert_array_equal(resumed, golden)
+
+    def test_forward_from_without_recording_is_full_forward(self, cnn, batch):
+        images, labels = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            expected = golden_inference(ge, images, labels).logits
+            out = ge.forward_from(ge.layer_names()[-1], images)  # no session
+            np.testing.assert_array_equal(out, expected)
+
+    def test_capture_requires_enable(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "fp16") as ge:
+            with pytest.raises(RuntimeError, match="enable_resume"):
+                ge.capture_golden(images)
+
+    def test_capture_refuses_armed_injections(self, cnn, batch):
+        images, labels = batch
+        with GoldenEye(cnn, "fp16") as ge:
+            golden_inference(ge, images, labels)  # warm shapes
+            ge.enable_resume()
+            plan = ge.injector.sample_value_injection(np.random.default_rng(0))
+            with ge.injector.armed(plan):
+                with pytest.raises(RuntimeError, match="armed"):
+                    ge.capture_golden(images)
+
+    def test_structural_divergence_falls_back(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            session = ge.enable_resume()
+            golden = ge.capture_golden(images)
+            session.order[0] = -1  # simulate a model edited after recording
+            resumed = ge.forward_from(ge.layer_names()[-1], images)
+            np.testing.assert_array_equal(resumed, golden)
+            assert session.stats.diverged == 1
+
+    def test_unknown_layer_raises(self, cnn, batch):
+        images, _ = batch
+        with GoldenEye(cnn, "fp16") as ge:
+            with pytest.raises(KeyError):
+                ge.forward_from("nope", images)
+
+    def test_replaying_requires_recording(self, cnn):
+        session = ResumeSession(cnn)
+        with pytest.raises(RuntimeError, match="recorded"):
+            with session.replaying(0):
+                pass
+
+    def test_detach_clears_session(self, cnn, batch):
+        images, _ = batch
+        ge = GoldenEye(cnn, "fp16").attach()
+        ge.enable_resume()
+        ge.capture_golden(images)
+        ge.detach()
+        assert ge.resume_session is None
+
+
+# ----------------------------------------------------------------------
+# campaign integration
+# ----------------------------------------------------------------------
+class TestCampaignResume:
+    @pytest.mark.parametrize("kind,location", [("value", "neuron"),
+                                               ("value", "weight"),
+                                               ("metadata", "neuron")])
+    def test_campaign_resume_matches_full_rerun(self, cnn, batch, kind, location):
+        images, labels = batch
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            fast = run_campaign(ge, images, labels, kind=kind, location=location,
+                                injections_per_layer=4, seed=9, resume=True)
+        with GoldenEye(cnn, "bfp_e5m5_b16") as ge:
+            slow = run_campaign(ge, images, labels, kind=kind, location=location,
+                                injections_per_layer=4, seed=9, resume=False)
+        assert fast.per_layer.keys() == slow.per_layer.keys()
+        for layer in fast.per_layer:
+            assert fast.per_layer[layer].delta_losses == \
+                slow.per_layer[layer].delta_losses, layer
+            assert fast.per_layer[layer].mismatch_rate == \
+                slow.per_layer[layer].mismatch_rate, layer
+
+    def test_campaign_reports_stats_and_releases_cache(self, cnn, batch):
+        images, labels = batch
+        with GoldenEye(cnn, "fp16") as ge:
+            result = run_campaign(ge, images, labels, injections_per_layer=3,
+                                  seed=1, resume=True)
+            assert result.resume_stats is not None
+            assert result.resume_stats["replayed"] > 0
+            assert ge.resume_session is None  # released after the campaign
+
+    def test_campaign_without_resume_has_no_stats(self, cnn, batch):
+        images, labels = batch
+        with GoldenEye(cnn, "fp16") as ge:
+            result = run_campaign(ge, images, labels, injections_per_layer=2,
+                                  seed=1, resume=False)
+            assert result.resume_stats is None
