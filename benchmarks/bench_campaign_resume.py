@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from repro.core import GoldenEye, run_campaign
+from repro.obs import write_bench_json
 
 from .conftest import print_block
 
@@ -63,6 +64,15 @@ def test_resume_campaign_speedup_and_equivalence(resnet, batch):
         f"  cache counters        {stats}",
     ]
     print_block("\n".join(lines))
+
+    write_bench_json("campaign_resume", {
+        "full_wall_s": t_full,
+        "resume_wall_s": t_resume,
+        "speedup": speedup,
+        "layers_targeted": len(layers),
+        "injections_per_layer": INJECTIONS_PER_LAYER,
+        "cache_stats": dict(stats) if stats else None,
+    })
 
     # --- correctness: resumed campaign is bit-identical to full re-execution
     assert fast.per_layer.keys() == slow.per_layer.keys()

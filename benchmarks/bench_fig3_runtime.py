@@ -22,6 +22,8 @@ from repro.core import GoldenEye, MetadataInjection, ValueInjection
 from repro.core.campaign import golden_inference
 from repro.nn import Tensor
 
+from repro.obs import write_bench_json
+
 from .conftest import print_block
 
 #: the 14 format configurations of Fig. 3
@@ -118,6 +120,11 @@ def test_fig3_report_and_shape(benchmark, resnet, batch):
             lines.append(f"  {key:28s} {_results[key] * 1000:8.1f} ms"
                          f"  ({_results[key] / native:5.2f}x)")
     print_block("\n".join(lines))
+
+    write_bench_json("fig3_runtime", {
+        "median_seconds": dict(_results),
+        "slowdown_over_native": {k: v / native for k, v in _results.items()},
+    })
 
     # --- shape assertions -------------------------------------------------
     # native is fastest (allow 5% measurement noise)

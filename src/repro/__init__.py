@@ -18,13 +18,16 @@ Subpackages
     campaigns, DSE heuristic, range detector.
 ``repro.analysis``
     Resilience profiles, tradeoff studies, and report rendering.
+``repro.obs``
+    Observability: metrics registry, span tracer with JSONL event sink,
+    per-layer profiler, JSON/CSV/Prometheus exporters.
 """
 
-from . import analysis, core, data, formats, models, nn
+from . import analysis, core, data, formats, models, nn, obs
 from .core import GoldenEye
 from .formats import make_format
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["nn", "models", "data", "formats", "core", "analysis",
+__all__ = ["nn", "models", "data", "formats", "core", "analysis", "obs",
            "GoldenEye", "make_format", "__version__"]

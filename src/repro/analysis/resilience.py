@@ -70,6 +70,7 @@ def profile_resilience(
     detector=None,
     use_range_detector: bool = False,
     targets=("conv", "linear"),
+    profiler=None,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -78,12 +79,16 @@ def profile_resilience(
     :class:`~repro.core.detector.RangeDetector` is profiled on a clean pass
     over the evaluation batch and then clamps every instrumented layer, so
     metadata blow-ups are bounded by each layer's observed activation range.
+
+    ``profiler`` (a :class:`~repro.obs.profiler.LayerProfiler`) splits every
+    instrumented forward into compute / quantize / inject / detect phases.
     """
     if use_range_detector and detector is None:
         from ..core.detector import RangeDetector
 
         detector = RangeDetector()
-    platform = GoldenEye(model, format_spec, targets=targets, range_detector=detector)
+    platform = GoldenEye(model, format_spec, targets=targets,
+                         range_detector=detector, profiler=profiler)
     with platform:
         if use_range_detector:
             from ..core.campaign import golden_inference

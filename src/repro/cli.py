@@ -9,26 +9,46 @@ surface over the reproduction:
     python -m repro dse      --model resnet18 --family bfp --threshold 0.01
     python -m repro campaign --model resnet18 --format bfp_e5m5_b16 \
                              --kind metadata --injections 100
+    python -m repro profile  --model resnet18 --format bfp_e5m5_b16
     python -m repro ranges
     python -m repro sites
 
 Every command trains (or loads from cache) the requested model on the
 deterministic synthetic dataset, so runs are reproducible end to end.
+
+Observability flags (every subcommand):
+
+* ``--trace FILE`` — JSONL event stream (one event per injection, spans for
+  campaigns / layers / DSE nodes — see ``docs/API.md`` for the schema);
+* ``--metrics-json FILE`` / ``--metrics-prom FILE`` — dump the process
+  metrics registry (cache hit-rate, injections/sec, per-layer phase timing)
+  as JSON or Prometheus text exposition on exit;
+* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
 
 from .analysis import layer_vulnerability_table, profile_resilience, render_table
-from .core import binary_tree_search, injection_sites
+from .core import binary_tree_search, injection_sites, run_campaign
 from .core.dse import FAMILY_BUILDERS, evaluate_format_accuracy
 from .data import SyntheticImageNet, get_pretrained
 from .formats import available_formats, dynamic_range, make_format
 from .models import available_models
+from .obs import (
+    LayerProfiler,
+    NULL_TRACER,
+    configure_tracing,
+    export_prometheus,
+    get_registry,
+    set_tracer,
+    write_json,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -43,6 +63,32 @@ def _load(args) -> tuple:
     if args.eval_samples:
         images, labels = images[: args.eval_samples], labels[: args.eval_samples]
     return model, images, labels
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="FILE", default=None,
+                       help="write a JSONL trace (spans + one event per "
+                            "injection) to FILE")
+    group.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="dump the metrics registry as JSON on exit")
+    group.add_argument("--metrics-prom", metavar="FILE", default=None,
+                       help="dump the metrics registry as Prometheus text "
+                            "exposition on exit")
+    group.add_argument("-v", "--verbose", action="count", default=0,
+                       help="-v: INFO logging, -vv: DEBUG logging (stderr)")
+
+
+def _configure_logging(verbosity: int) -> None:
+    level = (logging.WARNING if verbosity <= 0
+             else logging.INFO if verbosity == 1 else logging.DEBUG)
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)
 
 
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
@@ -109,13 +155,34 @@ def cmd_dse(args) -> int:
     return 0
 
 
+def _campaign_summary(campaign) -> str:
+    """Human-readable resume-cache + throughput summary for one campaign."""
+    lines = []
+    tel = campaign.telemetry
+    if tel:
+        lines.append(
+            f"throughput: {tel['injections_per_sec']:.1f} injections/s "
+            f"({tel['injections']} injections in {tel['wall_seconds']:.2f}s, "
+            f"{tel['sampling_retries']} sampling retries)")
+    stats = campaign.resume_stats
+    if stats:
+        lookups = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / lookups if lookups else 0.0
+        lines.append(
+            f"resume cache: hit-rate {hit_rate:.1%} | "
+            f"replayed {stats['replayed']} | recomputed {stats['recomputed']} | "
+            f"evictions {stats['evictions']} | diverged {stats['diverged']}")
+    return "\n".join(lines)
+
+
 def cmd_campaign(args) -> int:
     model, images, labels = _load(args)
     fmt = make_format(args.format)
+    profiler = LayerProfiler()
     profile = profile_resilience(
         model, args.model, fmt, images[: args.batch], labels[: args.batch],
         injections_per_layer=args.injections, location=args.location,
-        seed=args.seed)
+        seed=args.seed, profiler=profiler)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -123,6 +190,36 @@ def cmd_campaign(args) -> int:
     print(layer_vulnerability_table(profile))
     print(f"\nnetwork mean ΔLoss ({args.kind}): "
           f"{np.mean([r.mean_delta_loss for r in campaign.per_layer.values()]):.4f}")
+    summary = _campaign_summary(campaign)
+    if summary:
+        print(summary)
+    profiler.publish(get_registry())  # per-layer phase timing -> exporters
+    if args.verbose:
+        print("\n" + profiler.table())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .core import GoldenEye
+    from .core.campaign import golden_inference
+
+    model, images, labels = _load(args)
+    images, labels = images[: args.batch], labels[: args.batch]
+    profiler = LayerProfiler()
+    with GoldenEye(model, args.format, profiler=profiler) as ge:
+        for _ in range(max(args.passes, 1)):
+            golden_inference(ge, images, labels)
+        if args.injections > 0:
+            run_campaign(ge, images, labels,
+                         injections_per_layer=args.injections, seed=args.seed)
+    print(profiler.table())
+    total = profiler.total_seconds()
+    if total > 0:
+        shares = " | ".join(
+            f"{phase} {profiler.total_seconds(phase) / total:.1%}"
+            for phase in ("compute", "quantize", "inject", "detect"))
+        print(f"\nphase share of instrumented time: {shares}")
+    profiler.publish(get_registry())
     return 0
 
 
@@ -243,6 +340,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.01)
     p.set_defaults(func=cmd_mixed)
 
+    p = sub.add_parser("profile", help="per-layer phase profile "
+                                       "(compute / quantize / inject / detect)")
+    _add_model_args(p)
+    p.add_argument("--format", default="bfp_e5m5_b16", help="format spec to profile")
+    p.add_argument("--passes", type=int, default=3,
+                   help="clean forward passes to profile")
+    p.add_argument("--injections", type=int, default=8,
+                   help="injections/layer exercising the inject phase (0 = skip)")
+    p.add_argument("--batch", type=int, default=16,
+                   help="samples per profiled forward pass")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("ranges", help="dynamic range table (Table I)")
     p.add_argument("--format", nargs="*", help="format specs (default: all named)")
     p.set_defaults(func=cmd_ranges)
@@ -250,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sites", help="list the single-bit injection sites")
     p.add_argument("--kind", choices=["value", "metadata"], default=None)
     p.set_defaults(func=cmd_sites)
+
+    # every subcommand gets the observability surface
+    for command_parser in sub.choices.values():
+        _add_obs_args(command_parser)
     return parser
 
 
@@ -257,7 +370,22 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(getattr(args, "verbose", 0))
+    registry = get_registry()
+    tracer = configure_tracing(getattr(args, "trace", None), registry=registry)
+    try:
+        return args.func(args)
+    finally:
+        metrics_json = getattr(args, "metrics_json", None)
+        if metrics_json:
+            write_json(metrics_json, registry)
+        metrics_prom = getattr(args, "metrics_prom", None)
+        if metrics_prom:
+            with open(metrics_prom, "w", encoding="utf-8") as fh:
+                fh.write(export_prometheus(registry))
+        if tracer.enabled:
+            tracer.close()
+            set_tracer(NULL_TRACER)
 
 
 if __name__ == "__main__":

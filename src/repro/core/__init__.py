@@ -18,7 +18,13 @@ from .gradinject import (
     train_with_gradient_faults,
 )
 from .goldeneye import GoldenEye, LayerState, TARGET_KINDS, default_target_types
-from .injection import InjectionEngine, InjectionError, MetadataInjection, ValueInjection
+from .injection import (
+    InjectionEngine,
+    InjectionError,
+    MetadataInjection,
+    ValueInjection,
+    per_sample_numel,
+)
 from .metrics import (
     InferenceOutcome,
     compare_outcomes,
@@ -29,7 +35,13 @@ from .metrics import (
     sdc_classify,
     softmax_probs,
 )
-from .resume import ActivationCache, CacheStats, DEFAULT_CACHE_BUDGET, ResumeSession
+from .resume import (
+    ActivationCache,
+    CacheStats,
+    DEFAULT_CACHE_BUDGET,
+    ResumeSession,
+    publish_cache_metrics,
+)
 from .sites import INJECTION_SITES, InjectionSite, injection_sites, site_by_name
 
 __all__ = [
@@ -49,6 +61,8 @@ __all__ = [
     "InjectionError",
     "ValueInjection",
     "MetadataInjection",
+    "per_sample_numel",
+    "publish_cache_metrics",
     "RangeDetector",
     "InferenceOutcome",
     "compare_outcomes",

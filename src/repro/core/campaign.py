@@ -14,22 +14,51 @@ restarts inference *from L* with the cached prefix replayed — O(suffix)
 instead of O(network) per injection, bit-identical logits (the Gräfe et al.
 2023 intermediate-state-checkpointing optimisation).  Set ``resume=False``
 to force full re-execution for every injection.
+
+Determinism
+-----------
+Site sampling is **per-layer deterministic**: each layer draws from a child
+generator ``np.random.default_rng([seed, layer_index])`` (``layer_index`` =
+the layer's position in the platform's full instrumented-layer order), so
+restricting ``layers=`` to a subset, reordering the subset, or a layer
+exhausting its site space early never shifts the sites sampled at any
+*other* layer.  ``seed`` alone reproduces an entire campaign.
+
+Telemetry
+---------
+The runner is fully instrumented (see :mod:`repro.obs`): a ``campaign.run``
+span wraps the campaign, a ``campaign.layer`` span wraps each layer, and —
+when tracing is enabled — one ``campaign.injection`` event is emitted per
+injection (layer, site, bits, ΔLoss, wall-time), making every campaign a
+replayable JSONL event stream.  Counters/histograms land in the process
+registry (``campaign.injections_total``, ``campaign.injection_seconds``,
+``campaign.sampling_retries_total``, ``campaign.injection_errors_total``)
+and the resume cache's counters are bridged to ``resume.*`` gauges.
+:attr:`CampaignResult.telemetry` carries the run-level summary
+(wall-time, injections/sec, per-layer timing).
 """
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import nn
 from ..nn.tensor import Tensor
+from ..obs.telemetry import get_registry
+from ..obs.tracing import get_tracer
 from .goldeneye import GoldenEye
-from .injection import InjectionError, MetadataInjection, ValueInjection
+from .injection import InjectionError, MetadataInjection, ValueInjection, \
+    per_sample_numel
 from .metrics import InferenceOutcome, compare_outcomes
 from .resume import DEFAULT_CACHE_BUDGET
 
 __all__ = ["CampaignResult", "LayerCampaignResult", "run_campaign", "golden_inference"]
+
+logger = logging.getLogger("repro.campaign")
 
 
 @dataclass
@@ -43,6 +72,10 @@ class LayerCampaignResult:
     mismatch_rate: float
     sdc_rate: float
     delta_losses: list[float] = field(default_factory=list, repr=False)
+    #: wall-clock spent on this layer's injected inferences (seconds)
+    seconds: float = 0.0
+    #: sampling attempts that drew an already-seen or invalid site
+    retries: int = 0
 
 
 @dataclass
@@ -56,6 +89,8 @@ class CampaignResult:
     per_layer: dict[str, LayerCampaignResult]
     #: activation-cache counters when the campaign ran in resume mode
     resume_stats: dict | None = None
+    #: run-level telemetry summary (wall-time, throughput, per-layer timing)
+    telemetry: dict | None = None
 
     def mean_delta_loss(self) -> float:
         """Network-level resilience: ΔLoss averaged across layers (§V-A)."""
@@ -100,6 +135,10 @@ def run_campaign(
     unique single-bit flip injections"; ``num_bits > 1`` switches to the
     multi-bit flip error model (several bits of the same word at once).
 
+    Each layer samples from its own child generator derived from
+    ``[seed, layer_index]`` (see the module docstring), so per-layer results
+    are invariant under layer subsetting and reordering.
+
     ``resume=True`` (the default) checkpoints the golden pass and restarts
     each injected inference from its victim layer (see module docstring);
     ``resume_budget_bytes`` caps the activation cache (None = unlimited).
@@ -109,7 +148,9 @@ def run_campaign(
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
     if kind not in ("value", "metadata"):
         raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
-    rng = np.random.default_rng(seed)
+    tracer = get_tracer()
+    registry = get_registry()
+    t_campaign = time.perf_counter()
     if resume:
         platform.enable_resume(resume_budget_bytes)
         logits = platform.capture_golden(images)  # also warms output shapes
@@ -117,17 +158,66 @@ def run_campaign(
     else:
         golden = golden_inference(platform, images, labels)
 
-    target_layers = layers if layers is not None else platform.layer_names()
+    all_layers = platform.layer_names()
+    layer_index = {name: i for i, name in enumerate(all_layers)}
+    target_layers = layers if layers is not None else all_layers
+    logger.info("campaign start: kind=%s location=%s format=%s layers=%d "
+                "injections/layer=%d resume=%s", kind, location,
+                platform.format_name(), len(target_layers),
+                injections_per_layer, resume)
     per_layer: dict[str, LayerCampaignResult] = {}
-    for layer in target_layers:
-        stats = _run_layer(platform, layer, golden, images, kind, location,
-                           injections_per_layer, rng, num_bits, use_resume=resume)
-        if stats is not None:
-            per_layer[layer] = stats
-    resume_stats = None
-    if resume and platform.resume_session is not None:
-        resume_stats = platform.resume_session.stats.as_dict()
-        platform.clear_resume()  # release the cached activations
+    with tracer.span("campaign.run", kind=kind, location=location,
+                     format=platform.format_name(), seed=seed,
+                     injections_per_layer=injections_per_layer,
+                     layers=len(target_layers), resume=resume) as run_span:
+        for layer in target_layers:
+            # per-layer child RNG: sites at this layer depend only on
+            # (seed, the layer's position in the full instrumented order)
+            rng = np.random.default_rng(
+                [seed, layer_index.get(layer, len(layer_index))])
+            with tracer.span("campaign.layer", layer=layer, kind=kind) as layer_span:
+                stats = _run_layer(platform, layer, golden, images, kind, location,
+                                   injections_per_layer, rng, num_bits,
+                                   use_resume=resume)
+                if stats is not None:
+                    layer_span.set(performed=stats.injections,
+                                   retries=stats.retries,
+                                   mean_delta_loss=stats.mean_delta_loss)
+            if stats is not None:
+                per_layer[layer] = stats
+                logger.debug("layer %s: %d injections in %.3fs "
+                             "(mean ΔLoss %.4f)", layer, stats.injections,
+                             stats.seconds, stats.mean_delta_loss)
+            if resume and platform.resume_session is not None:
+                # keep the resume gauges live as the campaign progresses
+                platform.resume_session.publish_metrics(registry)
+        resume_stats = None
+        if resume and platform.resume_session is not None:
+            resume_stats = platform.resume_session.stats.as_dict()
+            platform.resume_session.publish_metrics(registry)
+            platform.clear_resume()  # release the cached activations
+        wall = time.perf_counter() - t_campaign
+        injections_total = sum(r.injections for r in per_layer.values())
+        retries_total = sum(r.retries for r in per_layer.values())
+        throughput = injections_total / wall if wall > 0 else 0.0
+        run_span.set(injections=injections_total, wall_s=wall,
+                     injections_per_sec=throughput)
+    registry.gauge("campaign.injections_per_sec",
+                   help="throughput of the most recent campaign").set(throughput)
+    registry.gauge("campaign.wall_seconds").set(wall)
+    logger.info("campaign done: %d injections in %.2fs (%.1f inj/s)",
+                injections_total, wall, throughput)
+    telemetry = {
+        "wall_seconds": wall,
+        "injections": injections_total,
+        "injections_per_sec": throughput,
+        "sampling_retries": retries_total,
+        "per_layer": {
+            name: {"seconds": r.seconds, "injections": r.injections,
+                   "retries": r.retries}
+            for name, r in per_layer.items()
+        },
+    }
     return CampaignResult(
         kind=kind,
         location=location,
@@ -135,6 +225,7 @@ def run_campaign(
         golden_accuracy=golden.accuracy,
         per_layer=per_layer,
         resume_stats=resume_stats,
+        telemetry=telemetry,
     )
 
 
@@ -151,6 +242,8 @@ def _run_layer(
     use_resume: bool = False,
 ) -> LayerCampaignResult | None:
     engine = platform.injector
+    tracer = get_tracer()
+    registry = get_registry()
     seen: set[tuple] = set()
     delta_losses: list[float] = []
     mismatches = 0.0
@@ -158,6 +251,7 @@ def _run_layer(
     performed = 0
     attempts = 0
     max_attempts = budget * 20
+    t_layer = time.perf_counter()
     # the unique-site count is invariant across attempts: compute it once,
     # not inside the sampling loop
     site_space = _site_space(platform, layer, kind, location)
@@ -175,12 +269,17 @@ def _run_layer(
                                                         num_bits=num_bits)
                 key = (plan.register, plan.bits)
         except InjectionError:
+            registry.counter(
+                "campaign.injection_errors_total",
+                help="layers skipped because sampling raised InjectionError",
+                kind=kind, location=location).inc()
             return None  # site inapplicable (e.g. metadata on a plain FP layer)
         if key in seen:
             if len(seen) >= site_space:
                 break  # exhausted every unique site at this layer
             continue
         seen.add(key)
+        t_inj = time.perf_counter()
         with engine.armed(plan):
             if use_resume:
                 faulty = InferenceOutcome(
@@ -190,10 +289,30 @@ def _run_layer(
             else:
                 faulty = golden_inference(platform, images, golden.labels)
         metrics = compare_outcomes(golden, faulty)
+        dur = time.perf_counter() - t_inj
         delta_losses.append(metrics["delta_loss"])
         mismatches += metrics["mismatch_rate"]
         sdcs += metrics["sdc_rate"]
         performed += 1
+        registry.counter("campaign.injections_total",
+                         help="injected inferences executed",
+                         kind=kind, location=location).inc()
+        registry.histogram("campaign.injection_seconds",
+                           help="wall-clock per injected inference",
+                           layer=layer).observe(dur)
+        if tracer.enabled:
+            site = plan.flat_index if kind == "value" else plan.register
+            tracer.event("campaign.injection", layer=layer, kind=kind,
+                         location=location, site=int(site),
+                         bits=list(plan.bits),
+                         delta_loss=metrics["delta_loss"],
+                         mismatch_rate=metrics["mismatch_rate"],
+                         sdc_rate=metrics["sdc_rate"], dur_s=dur)
+    retries = attempts - performed
+    if retries:
+        registry.counter("campaign.sampling_retries_total",
+                         help="sampling attempts that hit a seen/invalid site",
+                         kind=kind, location=location).inc(retries)
     if performed == 0:
         return None
     return LayerCampaignResult(
@@ -204,16 +323,24 @@ def _run_layer(
         mismatch_rate=mismatches / performed,
         sdc_rate=sdcs / performed,
         delta_losses=delta_losses,
+        seconds=time.perf_counter() - t_layer,
+        retries=retries,
     )
 
 
 def _site_space(platform: GoldenEye, layer: str, kind: str, location: str) -> int:
-    """Total number of unique (index/register, bit) sites at this layer."""
+    """Total number of unique (index/register, bit) sites at this layer.
+
+    Neuron value sites count *per-sample* elements: the batch axis is never
+    injectable (each batch sample receives the same flip), so a 1-D layer
+    output of shape ``(batch,)`` contributes exactly one element — not
+    ``batch`` of them (see :func:`repro.core.injection.per_sample_numel`).
+    """
     state = platform.layers[layer]
     if kind == "value":
         if location == "neuron":
-            shape = state.last_output_shape or (0,)
-            numel = int(np.prod(shape[1:])) if len(shape) > 1 else int(shape[0])
+            shape = state.last_output_shape
+            numel = per_sample_numel(shape) if shape is not None else 0
             width = state.neuron_format.bit_width if state.neuron_format else 32
         else:
             param = state.module._parameters.get("weight")

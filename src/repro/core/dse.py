@@ -11,6 +11,8 @@ multiple accuracy-preserving low-precision design points.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -24,7 +26,11 @@ from ..formats.fp import FloatingPoint
 from ..formats.fxp import FixedPoint
 from ..formats.intq import IntegerQuant
 from ..nn.tensor import Tensor
+from ..obs.telemetry import get_registry
+from ..obs.tracing import get_tracer
 from .goldeneye import GoldenEye
+
+logger = logging.getLogger("repro.dse")
 
 __all__ = ["DseNode", "DseResult", "binary_tree_search", "evaluate_format_accuracy",
            "FAMILY_BUILDERS", "default_exp_bits"]
@@ -170,12 +176,28 @@ def binary_tree_search(
 
     visited: dict[tuple[int, int], DseNode] = {}
 
+    tracer = get_tracer()
+    registry = get_registry()
+    registry.gauge("dse.baseline_accuracy", family=family).set(baseline_accuracy)
+
     def evaluate(bitwidth: int, radix: int | None, phase: str) -> DseNode:
         fmt = builder(bitwidth, radix)
         key = (bitwidth, fmt.radix)
         if key in visited:  # phase 2 may land on phase 1's default split
             return visited[key]
-        accuracy = evaluate_format_accuracy(model, images, labels, fmt, targets=targets)
+        t0 = time.perf_counter()
+        with tracer.span("dse.node", family=family, phase=phase,
+                         format=fmt.name, bitwidth=bitwidth) as node_span:
+            accuracy = evaluate_format_accuracy(model, images, labels, fmt,
+                                                targets=targets)
+            node_span.set(accuracy=accuracy, acceptable=bool(accuracy >= floor))
+        registry.counter("dse.nodes_total",
+                         help="DSE tree nodes evaluated", family=family).inc()
+        registry.histogram("dse.node_seconds",
+                           help="wall-clock per DSE node evaluation",
+                           family=family).observe(time.perf_counter() - t0)
+        logger.debug("dse node %s %s: accuracy %.4f (floor %.4f)",
+                     phase, fmt.name, accuracy, floor)
         node = DseNode(
             index=len(result.nodes),
             phase=phase,

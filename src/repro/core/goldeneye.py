@@ -15,8 +15,10 @@ is supported (§V-B).
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 import numpy as np
 
@@ -25,9 +27,16 @@ from ..formats.base import NumberFormat
 from ..formats.bfp import BlockFloatingPoint
 from ..formats.registry import make_format
 from ..nn.tensor import Tensor
+from ..obs.telemetry import get_registry
+from ..obs.tracing import get_tracer
 from .detector import RangeDetector
 from .injection import InjectionEngine
 from .resume import DEFAULT_CACHE_BUDGET, ResumeSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.profiler import LayerProfiler
+
+logger = logging.getLogger("repro.goldeneye")
 
 __all__ = ["GoldenEye", "LayerState", "TARGET_KINDS", "default_target_types"]
 
@@ -67,6 +76,8 @@ class LayerState:
     #: shape of the most recent output (for sampling injection sites)
     last_output_shape: tuple[int, ...] | None = None
     hook_handle: nn.HookHandle | None = None
+    #: profiler timestamp pre-hook (installed only when a profiler is set)
+    pre_hook_handle: nn.HookHandle | None = None
 
 
 def _metadata_snapshot(fmt: NumberFormat) -> Any:
@@ -95,6 +106,12 @@ class GoldenEye:
         Optional :class:`RangeDetector` (the paper's toggleable detector);
         clamps each layer's output to its profiled range *after* injection,
         modelling a low-cost protection mechanism.
+    profiler:
+        Optional :class:`~repro.obs.profiler.LayerProfiler`.  When set, every
+        instrumented forward is split into compute / quantize / inject /
+        detect phases with per-layer ns/element and activation-memory
+        accounting; when ``None`` (the default) the hook hot path carries a
+        single ``is not None`` check and no timing calls.
     """
 
     def __init__(
@@ -105,11 +122,13 @@ class GoldenEye:
         quantize_weights: bool = True,
         quantize_neurons: bool = True,
         range_detector: RangeDetector | None = None,
+        profiler: "LayerProfiler | None" = None,
     ):
         self.model = model
         self.quantize_weights = quantize_weights
         self.quantize_neurons = quantize_neurons
         self.detector = range_detector
+        self.profiler = profiler
         self.injector = InjectionEngine(self)
         self._attached = False
         self._format_spec = number_format
@@ -174,13 +193,28 @@ class GoldenEye:
         """Instrument the model: convert weights, register neuron hooks."""
         if self._attached:
             return self
-        for state in self.layers.values():
-            if state.weight_format is not None:
-                self._convert_weights(state)
-            if state.neuron_format is not None or self.detector is not None:
-                state.hook_handle = state.module.register_forward_hook(
-                    self._make_hook(state)
-                )
+        registry = get_registry()
+        with get_tracer().span("goldeneye.attach", format=self.format_name(),
+                               layers=len(self.layers)):
+            for state in self.layers.values():
+                if state.weight_format is not None:
+                    t0 = time.perf_counter()
+                    self._convert_weights(state)
+                    registry.histogram(
+                        "goldeneye.weight_convert_seconds",
+                        help="per-layer attach-time weight conversion",
+                        layer=state.name).observe(time.perf_counter() - t0)
+                if state.neuron_format is not None or self.detector is not None:
+                    if self.profiler is not None:
+                        state.pre_hook_handle = state.module.register_forward_pre_hook(
+                            self.profiler.make_pre_hook())
+                    state.hook_handle = state.module.register_forward_hook(
+                        self._make_hook(state)
+                    )
+        registry.counter("goldeneye.attaches_total",
+                         help="platform attach() calls").inc()
+        logger.debug("attached %d layers under format %r",
+                     len(self.layers), self.format_name())
         self._attached = True
         return self
 
@@ -190,6 +224,9 @@ class GoldenEye:
             if state.hook_handle is not None:
                 state.hook_handle.remove()
                 state.hook_handle = None
+            if state.pre_hook_handle is not None:
+                state.pre_hook_handle.remove()
+                state.pre_hook_handle = None
             for pname, original in state.original_weights.items():
                 np.copyto(getattr(state.module, pname).data, original)
             state.original_weights.clear()
@@ -230,16 +267,34 @@ class GoldenEye:
     def _make_hook(self, state: LayerState):
         def hook(module: nn.Module, inputs, output: nn.Tensor):
             data = output.data
+            prof = self.profiler
+            if prof is not None:
+                # books the `compute` phase (pre-hook stamp -> hook entry)
+                t_prev = prof.begin_postprocess(state.name, module, data)
             fmt = state.neuron_format
             if fmt is not None:
                 quantized = fmt.real_to_format_tensor(data)
                 state.neuron_golden_metadata = _metadata_snapshot(fmt)
             else:
                 quantized = data.copy()
+            if prof is not None:
+                now = time.perf_counter()
+                prof.record_phase(state.name, "quantize", now - t_prev,
+                                  quantized.size)
+                t_prev = now
             state.last_output_shape = quantized.shape
             quantized = self.injector.apply_neuron_injections(state, quantized)
+            if prof is not None:
+                now = time.perf_counter()
+                prof.record_phase(state.name, "inject", now - t_prev,
+                                  quantized.size)
+                t_prev = now
             if self.detector is not None:
                 quantized = self.detector.clamp(state.name, quantized)
+                if prof is not None:
+                    now = time.perf_counter()
+                    prof.record_phase(state.name, "detect", now - t_prev,
+                                      quantized.size)
             return _straight_through(output, quantized)
 
         return hook
@@ -273,10 +328,12 @@ class GoldenEye:
         if self.injector.active:
             raise RuntimeError("cannot record a golden pass with injections armed")
         self.model.eval()
-        with nn.no_grad(), np.errstate(over="ignore", invalid="ignore"):
-            with self.resume_session.recording():
-                logits = self.model.forward_from(
-                    self.resume_session, Tensor(np.asarray(images, dtype=np.float32)))
+        with get_tracer().span("goldeneye.capture_golden",
+                               batch=int(np.asarray(images).shape[0])):
+            with nn.no_grad(), np.errstate(over="ignore", invalid="ignore"):
+                with self.resume_session.recording():
+                    logits = self.model.forward_from(
+                        self.resume_session, Tensor(np.asarray(images, dtype=np.float32)))
         return logits.data.copy()
 
     def forward_from(self, layer: str, images: np.ndarray) -> np.ndarray:

@@ -32,11 +32,28 @@ from ..formats.base import NumberFormat
 from ..formats.bfp import BlockFloatingPoint
 from ..formats.bitstring import flip_bit
 from ..formats.vectorized import flip_value, flip_values
+from ..obs.telemetry import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from .goldeneye import GoldenEye, LayerState
 
-__all__ = ["ValueInjection", "MetadataInjection", "InjectionEngine", "InjectionError"]
+__all__ = ["ValueInjection", "MetadataInjection", "InjectionEngine",
+           "InjectionError", "per_sample_numel"]
+
+
+def per_sample_numel(shape: tuple[int, ...]) -> int:
+    """Number of injectable elements *per sample* of a layer output.
+
+    The leading axis is always the batch dimension — each batch sample is an
+    independent inference receiving the same flip (PyTorchFI's batched
+    semantics) — so it is excluded from the injectable site count.  A 1-D
+    output of shape ``(batch,)`` is a batch of scalars: exactly one site per
+    sample, **not** ``batch`` sites (the historical off-by-a-dimension this
+    helper fixes).
+    """
+    if len(shape) <= 1:
+        return 1
+    return int(np.prod(shape[1:]))
 
 
 class InjectionError(RuntimeError):
@@ -165,7 +182,7 @@ class InjectionEngine:
         decode pass (:func:`repro.formats.vectorized.flip_values`).
         """
         out = quantized.copy()
-        batch = out.shape[0] if out.ndim > 1 else 1
+        batch = out.shape[0] if out.ndim >= 1 else 1
         per_sample = out.reshape(batch, -1)
         sample_size = per_sample.shape[1]
         if plan.flat_index >= sample_size:
@@ -183,6 +200,7 @@ class InjectionEngine:
         per_sample[:, plan.flat_index] = flip_values(fmt, column, plan.bits,
                                                      blocks=blocks)
         self.injections_applied += 1
+        self._count_flip("value", "neuron")
         return out
 
     def _corrupt_neuron_metadata(self, state: "LayerState", plan: MetadataInjection,
@@ -199,6 +217,7 @@ class InjectionEngine:
         fmt.set_metadata_bits(bits, plan.register)
         corrupted = fmt.apply_metadata_corruption(quantized, golden)
         self.injections_applied += 1
+        self._count_flip("metadata", "neuron")
         return corrupted
 
     # ------------------------------------------------------------------
@@ -228,6 +247,7 @@ class InjectionEngine:
         corrupted = _flip_value(fmt, float(flat[plan.flat_index]), plan.bits, block=block)
         flat[plan.flat_index] = np.float32(corrupted)
         self.injections_applied += 1
+        self._count_flip("value", "weight")
 
     def _inject_weight_metadata(self, state: "LayerState", plan: MetadataInjection) -> None:
         fmt = state.weight_format
@@ -247,6 +267,7 @@ class InjectionEngine:
         fmt.set_metadata_bits(bits, plan.register)
         param.data[...] = fmt.apply_metadata_corruption(param.data, golden)
         self.injections_applied += 1
+        self._count_flip("metadata", "weight")
 
     # ------------------------------------------------------------------
     # random-site sampling
@@ -272,8 +293,7 @@ class InjectionEngine:
                 )
             # index within one sample (batch axis excluded): each batch sample
             # is an independent inference receiving the same flip
-            numel = int(np.prod(state.last_output_shape[1:])) \
-                if len(state.last_output_shape) > 1 else int(state.last_output_shape[0])
+            numel = per_sample_numel(state.last_output_shape)
             width = state.neuron_format.bit_width if state.neuron_format else 32
         else:
             param = self._weight_param(state)
@@ -309,6 +329,14 @@ class InjectionEngine:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _count_flip(kind: str, location: str) -> None:
+        """Telemetry: count one performed corruption in the registry."""
+        get_registry().counter(
+            "injection.flips_total",
+            help="bit-flip corruptions performed, by plan kind and location",
+            kind=kind, location=location).inc()
+
     def _layer_state(self, name: str) -> "LayerState":
         try:
             return self._platform.layers[name]

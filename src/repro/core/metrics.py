@@ -30,11 +30,25 @@ __all__ = [
 
 
 def softmax_probs(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax of a (batch, classes) logits array (stable)."""
+    """Row-wise softmax of a (batch, classes) logits array (stable).
+
+    Non-finite logits — possible after an injected fault — are handled
+    explicitly: a ``+inf`` entry saturates (it takes the row's probability
+    mass, split evenly if several entries are ``+inf``) and ``NaN`` entries
+    get probability zero, so downstream metrics never see NaN probabilities.
+    """
     logits = np.asarray(logits, dtype=np.float64)
-    shifted = logits - logits.max(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore"):
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+    if not np.isfinite(logits).all():
+        # +inf - +inf = NaN: the saturated entry should dominate (shift 0);
+        # a NaN logit should contribute nothing (shift -inf).
+        shifted = np.where(np.isposinf(logits), 0.0, shifted)
+        shifted = np.where(np.isnan(shifted), -np.inf, shifted)
     e = np.exp(shifted)
-    return e / e.sum(axis=-1, keepdims=True)
+    denom = e.sum(axis=-1, keepdims=True)
+    denom = np.where(denom == 0.0, 1.0, denom)  # all-NaN row -> all-zero probs
+    return e / denom
 
 
 def cross_entropy_values(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
@@ -57,14 +71,22 @@ def cross_entropy_values(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
 
 
 def mismatch_count(golden_logits: np.ndarray, faulty_logits: np.ndarray) -> int:
-    """Number of samples whose argmax class changed between runs."""
+    """Number of samples whose argmax class changed between runs.
+
+    A faulty row that is entirely NaN has no argmax at all — the output is
+    unconditionally corrupted — so it always counts as a mismatch (previously
+    the NaN→-inf substitution made argmax 0, silently masking the corruption
+    whenever the golden prediction happened to be class 0).
+    """
     golden = np.asarray(golden_logits)
     faulty = np.asarray(faulty_logits)
     if golden.shape != faulty.shape:
         raise ValueError(f"logit shapes differ: {golden.shape} vs {faulty.shape}")
+    all_nan = np.isnan(faulty.astype(np.float64, copy=False)).all(axis=-1)
     with np.errstate(invalid="ignore"):
         faulty = np.nan_to_num(faulty, nan=-np.inf)
-    return int(np.count_nonzero(golden.argmax(axis=-1) != faulty.argmax(axis=-1)))
+    changed = golden.argmax(axis=-1) != faulty.argmax(axis=-1)
+    return int(np.count_nonzero(changed | all_nan))
 
 
 def mismatch_rate(golden_logits: np.ndarray, faulty_logits: np.ndarray) -> float:
@@ -92,16 +114,22 @@ def sdc_classify(golden_logits: np.ndarray, faulty_logits: np.ndarray,
     * ``masked`` — prediction unchanged;
     * ``sdc`` — prediction changed and is now wrong (silent data corruption);
     * ``benign_flip`` — prediction changed but happens to be correct now.
+
+    An all-NaN faulty row has no prediction: it is always ``changed`` and
+    never "correct", so it lands in ``sdc`` (matching :func:`mismatch_count`).
     """
     golden_pred = np.asarray(golden_logits).argmax(axis=-1)
+    faulty = np.asarray(faulty_logits)
+    all_nan = np.isnan(faulty.astype(np.float64, copy=False)).all(axis=-1)
     with np.errstate(invalid="ignore"):
-        faulty_pred = np.nan_to_num(np.asarray(faulty_logits), nan=-np.inf).argmax(axis=-1)
+        faulty_pred = np.nan_to_num(faulty, nan=-np.inf).argmax(axis=-1)
     labels = np.asarray(labels)
-    changed = golden_pred != faulty_pred
+    changed = (golden_pred != faulty_pred) | all_nan
+    correct = (faulty_pred == labels) & ~all_nan
     return {
         "masked": int(np.count_nonzero(~changed)),
-        "sdc": int(np.count_nonzero(changed & (faulty_pred != labels))),
-        "benign_flip": int(np.count_nonzero(changed & (faulty_pred == labels))),
+        "sdc": int(np.count_nonzero(changed & ~correct)),
+        "benign_flip": int(np.count_nonzero(changed & correct)),
     }
 
 

@@ -40,9 +40,10 @@ import numpy as np
 
 from ..nn.module import COMPUTE, Module
 from ..nn.tensor import Tensor
+from ..obs.telemetry import MetricsRegistry, get_registry
 
 __all__ = ["ActivationCache", "CacheStats", "ResumeSession",
-           "DEFAULT_CACHE_BUDGET"]
+           "DEFAULT_CACHE_BUDGET", "publish_cache_metrics"]
 
 #: default activation-cache memory budget (bytes)
 DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024
@@ -60,10 +61,45 @@ class CacheStats:
     recomputed: int = 0  # leaf calls before the start index that had to re-run
     diverged: int = 0  # replay passes that fell back to full execution
 
+    FIELDS = ("hits", "misses", "evictions", "skipped",
+              "replayed", "recomputed", "diverged")
+
     def as_dict(self) -> dict:
-        return {k: getattr(self, k) for k in
-                ("hits", "misses", "evictions", "skipped",
-                 "replayed", "recomputed", "diverged")}
+        return {k: getattr(self, k) for k in self.FIELDS}
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all lookups (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def replay_rate(self) -> float:
+        """Fraction of pre-start leaf calls answered from cache."""
+        total = self.replayed + self.recomputed
+        return self.replayed / total if total else 0.0
+
+
+def publish_cache_metrics(stats: CacheStats, cache: "ActivationCache | None" = None,
+                          registry: MetricsRegistry | None = None,
+                          prefix: str = "resume") -> dict:
+    """Bridge :class:`CacheStats` into the metrics registry as live gauges.
+
+    Exposes every raw counter plus the derived ``hit_rate`` / ``replay_rate``
+    and — when ``cache`` is given — ``cache_bytes`` / ``cache_entries``.
+    Returns the flat dict that was published (useful for CLI display and for
+    round-trip tests).
+    """
+    registry = registry if registry is not None else get_registry()
+    flat: dict[str, float] = dict(stats.as_dict())
+    flat["hit_rate"] = stats.hit_rate
+    flat["replay_rate"] = stats.replay_rate
+    if cache is not None:
+        flat["cache_bytes"] = cache.nbytes
+        flat["cache_entries"] = len(cache)
+    for key, value in flat.items():
+        registry.gauge(f"{prefix}.{key}").set(float(value))
+    return flat
 
 
 class ActivationCache:
@@ -179,6 +215,12 @@ class ResumeSession:
     def start_index_for(self, module: Module) -> int | None:
         """First recorded execution position of ``module`` (None if absent)."""
         return self._first_index.get(id(module))
+
+    def publish_metrics(self, registry: MetricsRegistry | None = None,
+                        prefix: str = "resume") -> dict:
+        """Publish this session's cache counters as registry gauges."""
+        return publish_cache_metrics(self.stats, self.cache,
+                                     registry=registry, prefix=prefix)
 
     # ------------------------------------------------------------------
     # replay-controller protocol (called from Module.__call__)

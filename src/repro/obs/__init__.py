@@ -1,0 +1,67 @@
+"""``repro.obs`` — the observability subsystem.
+
+The measurement substrate for the platform's performance claims:
+
+* :mod:`repro.obs.telemetry` — process-wide, thread-safe metrics registry
+  (Counter / Gauge / Histogram, label sets, scoped per-run views);
+* :mod:`repro.obs.tracing` — span-based tracer with a JSONL event sink
+  (one event per injection) and an allocation-free null tracer when off;
+* :mod:`repro.obs.profiler` — hook-based per-layer profiler splitting each
+  instrumented forward into compute / quantize / inject / detect phases
+  (ns/element, activation-memory footprints);
+* :mod:`repro.obs.export` — JSON, CSV and Prometheus text exposition of the
+  registry, plus ``BENCH_*.json`` benchmark artifacts.
+"""
+
+from .export import (
+    export_csv,
+    export_json,
+    export_prometheus,
+    write_bench_json,
+    write_json,
+)
+from .profiler import LayerProfiler, PhaseStats
+from .telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunScope,
+    get_registry,
+    reset_registry,
+    set_registry,
+)
+from .tracing import (
+    JsonlSink,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunScope",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+    "JsonlSink",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "configure_tracing",
+    "LayerProfiler",
+    "PhaseStats",
+    "export_json",
+    "write_json",
+    "export_csv",
+    "export_prometheus",
+    "write_bench_json",
+]

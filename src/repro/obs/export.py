@@ -1,0 +1,163 @@
+"""Exporters: JSON, CSV and Prometheus text exposition of the registry.
+
+Three consumers, three formats:
+
+* **JSON** — the CLI's ``--metrics-json`` artifact and the benchmarks'
+  ``BENCH_*.json`` perf-trajectory files (machine-diffable across PRs);
+* **CSV** — flat ``name,labels,type,field,value`` rows for spreadsheets;
+* **Prometheus text exposition v0.0.4** — so a long-running service built on
+  this platform can be scraped directly (names are sanitised to the
+  ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset; histograms expose ``_bucket``/
+  ``_sum``/``_count`` series with cumulative ``le`` labels).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import os
+import re
+import time
+from typing import Any
+
+from .telemetry import MetricsRegistry, get_registry
+
+__all__ = [
+    "export_json",
+    "write_json",
+    "export_csv",
+    "export_prometheus",
+    "write_bench_json",
+]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _finite(value: float) -> Any:
+    """JSON-safe number (inf/nan → string markers)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def export_json(registry: MetricsRegistry | None = None,
+                extra: dict | None = None) -> dict:
+    """Registry snapshot as a JSON-serialisable dict."""
+    registry = registry if registry is not None else get_registry()
+    payload: dict[str, Any] = {
+        "generated_at": time.time(),
+        "metrics": registry.collect(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_json(path: str, registry: MetricsRegistry | None = None,
+               extra: dict | None = None) -> dict:
+    """Write the JSON export to ``path``; returns the payload."""
+    payload = export_json(registry, extra=extra)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def export_csv(registry: MetricsRegistry | None = None) -> str:
+    """Flat CSV: one row per (metric, field)."""
+    registry = registry if registry is not None else get_registry()
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["name", "labels", "type", "field", "value"])
+    for metric in sorted(registry, key=lambda m: (m.name, sorted(m.labels.items()))):
+        labels = ";".join(f"{k}={v}" for k, v in sorted(metric.labels.items()))
+        snap = metric.snapshot()
+        if metric.kind == "histogram":
+            for fname in ("count", "sum", "mean", "min", "max"):
+                writer.writerow([metric.name, labels, metric.kind, fname,
+                                 _finite(snap[fname])])
+        else:
+            writer.writerow([metric.name, labels, metric.kind, "value",
+                             _finite(snap["value"])])
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_sanitize(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def export_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Prometheus text exposition format v0.0.4."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for metric in sorted(registry, key=lambda m: (m.name, sorted(m.labels.items()))):
+        name = _sanitize(metric.name)
+        if name not in seen_types:
+            seen_types.add(name)
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind == "histogram":
+            cumulative = 0
+            for i, bound in enumerate(metric.buckets):
+                cumulative += metric.bucket_counts[i]
+                lines.append(f"{name}_bucket"
+                             f"{_prom_labels(metric.labels, {'le': repr(bound)})}"
+                             f" {cumulative}")
+            cumulative += metric.bucket_counts[-1]
+            lines.append(f"{name}_bucket"
+                         f"{_prom_labels(metric.labels, {'le': '+Inf'})}"
+                         f" {cumulative}")
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+        else:
+            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# benchmark artifacts
+# ----------------------------------------------------------------------
+def write_bench_json(name: str, payload: dict,
+                     directory: str | None = None) -> str:
+    """Write ``BENCH_<name>.json`` so the perf trajectory is diffable per PR.
+
+    ``directory`` defaults to ``$BENCH_OUT_DIR`` or ``benchmarks/out``.
+    The payload is wrapped with a timestamp and the benchmark name; returns
+    the path written.
+    """
+    directory = directory or os.environ.get("BENCH_OUT_DIR", "benchmarks/out")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    wrapped = {"bench": name, "generated_at": time.time(), **payload}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(wrapped, fh, indent=2, default=str)
+        fh.write("\n")
+    return path

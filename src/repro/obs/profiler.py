@@ -1,0 +1,200 @@
+"""Hook-based per-layer profiler: where does an instrumented forward go?
+
+An emulated forward pass through a GoldenEye-instrumented layer has four cost
+phases (§III-A's hook flow):
+
+* ``compute``  — the layer's native FP32 forward (pre-hook → post-hook entry);
+* ``quantize`` — ``real_to_format_tensor`` in the GoldenEye hook;
+* ``inject``   — the armed-plan check / corruption in the injection engine;
+* ``detect``   — the optional range-detector clamp.
+
+The profiler stamps a wall-clock at each instrumented module's pre-hook and
+lets the GoldenEye post-hook report the phase splits, accumulating per-layer
+totals, call counts, element counts (→ ns/element, the accelerator-kernel
+figure of merit) and activation-memory footprints (last/peak output bytes).
+
+Usage::
+
+    prof = LayerProfiler()
+    platform = GoldenEye(model, "bfp_e5m5_b16", profiler=prof)
+    with platform:
+        run_campaign(platform, images, labels, ...)
+    print(prof.table())
+    prof.publish(get_registry())   # gauges for the exporters
+
+The profiler is entirely passive when absent: the GoldenEye hook holds a
+single ``if self.profiler is not None`` branch on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["LayerProfiler", "PhaseStats"]
+
+PHASES = ("compute", "quantize", "inject", "detect")
+
+
+@dataclass
+class PhaseStats:
+    """Accumulated cost of one phase at one layer."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    elements: int = 0
+
+    def add(self, seconds: float, elements: int) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        self.elements += elements
+
+    @property
+    def ns_per_element(self) -> float:
+        if self.elements == 0:
+            return 0.0
+        return self.total_s * 1e9 / self.elements
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "elements": self.elements,
+            "ns_per_element": self.ns_per_element,
+        }
+
+
+@dataclass
+class _LayerProfile:
+    phases: dict[str, PhaseStats] = field(
+        default_factory=lambda: {p: PhaseStats() for p in PHASES})
+    last_output_bytes: int = 0
+    peak_output_bytes: int = 0
+    output_shape: tuple[int, ...] | None = None
+
+
+class LayerProfiler:
+    """Per-layer phase timing + activation-memory accounting."""
+
+    def __init__(self):
+        self._layers: dict[str, _LayerProfile] = {}
+        #: pre-hook timestamps, keyed by id(module) (one in flight per module)
+        self._t0: dict[int, float] = {}
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # hooks (driven by GoldenEye.attach / the GoldenEye post-hook)
+    # ------------------------------------------------------------------
+    def make_pre_hook(self):
+        """A forward-pre-hook stamping the module's forward start time."""
+
+        def pre_hook(module, inputs):
+            if self.enabled:
+                self._t0[id(module)] = time.perf_counter()
+            return None
+
+        return pre_hook
+
+    def begin_postprocess(self, layer: str, module, output_data) -> float:
+        """Called at GoldenEye post-hook entry; books the ``compute`` phase.
+
+        Returns the hook-entry timestamp so the caller can keep splitting the
+        remaining phases with :meth:`record_phase`.
+        """
+        now = time.perf_counter()
+        if not self.enabled:
+            return now
+        profile = self._layer(layer)
+        numel = int(output_data.size)
+        t0 = self._t0.pop(id(module), None)
+        if t0 is not None:
+            profile.phases["compute"].add(now - t0, numel)
+        nbytes = int(output_data.nbytes)
+        profile.last_output_bytes = nbytes
+        profile.output_shape = tuple(output_data.shape)
+        if nbytes > profile.peak_output_bytes:
+            profile.peak_output_bytes = nbytes
+        return now
+
+    def record_phase(self, layer: str, phase: str, seconds: float,
+                     elements: int) -> None:
+        if not self.enabled:
+            return
+        self._layer(layer).phases[phase].add(seconds, int(elements))
+
+    def _layer(self, name: str) -> _LayerProfile:
+        profile = self._layers.get(name)
+        if profile is None:
+            profile = self._layers[name] = _LayerProfile()
+        return profile
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def layers(self) -> list[str]:
+        return list(self._layers)
+
+    def phase_stats(self, layer: str, phase: str) -> PhaseStats:
+        return self._layer(layer).phases[phase]
+
+    def ns_per_element(self, layer: str, phase: str) -> float:
+        return self._layer(layer).phases[phase].ns_per_element
+
+    def total_seconds(self, phase: str | None = None) -> float:
+        total = 0.0
+        for profile in self._layers.values():
+            for name, stats in profile.phases.items():
+                if phase is None or name == phase:
+                    total += stats.total_s
+        return total
+
+    def as_dict(self) -> dict:
+        return {
+            layer: {
+                "phases": {p: s.as_dict() for p, s in profile.phases.items()},
+                "activation_bytes": profile.last_output_bytes,
+                "activation_bytes_peak": profile.peak_output_bytes,
+                "output_shape": (list(profile.output_shape)
+                                 if profile.output_shape else None),
+            }
+            for layer, profile in self._layers.items()
+        }
+
+    def publish(self, registry) -> None:
+        """Mirror the profile into ``registry`` as gauges for the exporters."""
+        for layer, profile in self._layers.items():
+            for phase, stats in profile.phases.items():
+                registry.gauge("profile.phase_seconds",
+                               layer=layer, phase=phase).set(stats.total_s)
+                registry.gauge("profile.ns_per_element",
+                               layer=layer, phase=phase).set(stats.ns_per_element)
+            registry.gauge("profile.activation_bytes",
+                           layer=layer).set(profile.last_output_bytes)
+            registry.gauge("profile.activation_bytes_peak",
+                           layer=layer).set(profile.peak_output_bytes)
+
+    def table(self) -> str:
+        """Fixed-width per-layer report (phases in ms + ns/element + bytes)."""
+        header = (f"{'layer':<24} {'phase':<9} {'calls':>7} {'total ms':>10} "
+                  f"{'ns/elem':>9} {'act bytes':>11}")
+        lines = [header, "-" * len(header)]
+        for layer, profile in self._layers.items():
+            first = True
+            for phase in PHASES:
+                stats = profile.phases[phase]
+                if stats.calls == 0:
+                    continue
+                mem = f"{profile.last_output_bytes:>11,}" if first else f"{'':>11}"
+                lines.append(
+                    f"{layer if first else '':<24} {phase:<9} {stats.calls:>7} "
+                    f"{stats.total_s * 1e3:>10.2f} {stats.ns_per_element:>9.1f} "
+                    f"{mem}")
+                first = False
+        if len(lines) == 2:
+            lines.append("(no layers profiled — run a forward pass first)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._layers.clear()
+        self._t0.clear()

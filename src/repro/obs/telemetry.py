@@ -1,0 +1,338 @@
+"""Process-wide metrics registry: Counter / Gauge / Histogram primitives.
+
+GoldenEye's pitch is *speed* (Fig. 3, the ΔLoss metric chosen "because it
+converges asymptotically faster", §IV-C), and the checkpoint-resume engine
+claims order-of-magnitude campaign speedups — claims that are only testable
+if the platform measures itself.  This module is the measurement substrate:
+a small, dependency-free, thread-safe metrics registry in the spirit of
+``prometheus_client``, consumed by the injection engine, the campaign
+runner, the resume cache, and the CLI exporters (:mod:`repro.obs.export`).
+
+Design points
+-------------
+* **Cheap on the hot path.**  Instruments resolve their metric objects once
+  (``registry.counter(...)`` returns the same object for the same
+  name+labels) and then mutate plain Python numbers lock-free; the registry
+  lock guards only creation and collection.  A disabled registry is simply
+  one that nobody exports.
+* **Labels.**  Each metric is keyed by ``(name, sorted(labels.items()))``;
+  the same name may carry many label sets (e.g. one ``campaign.layer_seconds``
+  histogram per layer).
+* **Scoped per-run views.**  ``with registry.run_scope("campaign-3") as view``
+  snapshots every counter/histogram at entry; ``view.delta()`` returns just
+  what this run contributed, so concurrent or sequential campaigns can report
+  isolated numbers out of one process-wide registry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunScope",
+    "get_registry",
+    "set_registry",
+    "reset_registry",
+]
+
+#: default histogram bucket upper bounds (seconds-flavoured, but generic)
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared identity for all metric primitives."""
+
+    kind = "metric"
+
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = ""):
+        self.name = name
+        self.labels = dict(labels)
+        self.help = help
+
+    @property
+    def key(self) -> tuple[str, tuple[tuple[str, str], ...]]:
+        return (self.name, _label_key(self.labels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lab = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"{type(self).__name__}({self.name}{{{lab}}})"
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (flips performed, cache hits, ...)."""
+
+    kind = "counter"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (cache bytes, hit-rate, progress)."""
+
+    kind = "gauge"
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = ""):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_to_current_time(self) -> None:
+        self._value = time.time()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+
+class Histogram(_Metric):
+    """Bucketed distribution (per-layer timings, ΔLoss spread, ...)."""
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, labels: dict[str, str], help: str = "",
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        super().__init__(name, labels, help)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                ("+inf" if i == len(self.buckets) else repr(self.buckets[i])): c
+                for i, c in enumerate(self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named metrics with label support."""
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._metrics: dict[tuple, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # metric factories (get-or-create; same name+labels -> same object)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels: str) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(name, labels, help, buckets=buckets)
+                self._metrics[key] = metric
+            elif not isinstance(metric, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def _get_or_create(self, cls, name: str, help: str, labels: dict) -> _Metric:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, labels, help)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    # ------------------------------------------------------------------
+    # introspection / export support
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def get(self, name: str, **labels: str) -> _Metric | None:
+        """Fetch an existing metric without creating it."""
+        with self._lock:
+            return self._metrics.get((name, _label_key(labels)))
+
+    def collect(self, prefix: str = "") -> dict:
+        """Snapshot every metric (optionally filtered by name prefix)."""
+        out: dict[str, list[dict]] = {}
+        with self._lock:
+            for metric in self._metrics.values():
+                if prefix and not metric.name.startswith(prefix):
+                    continue
+                out.setdefault(metric.name, []).append({
+                    "type": metric.kind,
+                    "labels": dict(metric.labels),
+                    **metric.snapshot(),
+                })
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # scoped per-run views
+    # ------------------------------------------------------------------
+    def run_scope(self, run_id: str) -> "RunScope":
+        """Per-run delta view: counters/histograms relative to scope entry."""
+        return RunScope(self, run_id)
+
+
+class RunScope:
+    """Context manager isolating one run's contribution to the registry.
+
+    Counters and histogram (count, sum) pairs are reported as deltas against
+    the values at scope entry; gauges are reported at their current value
+    (a gauge is a *state*, not an accumulation).
+    """
+
+    def __init__(self, registry: MetricsRegistry, run_id: str):
+        self.registry = registry
+        self.run_id = run_id
+        self.started_at: float | None = None
+        self.ended_at: float | None = None
+        self._entry: dict[tuple, dict] = {}
+
+    def __enter__(self) -> "RunScope":
+        self.started_at = time.time()
+        self._entry = {m.key: m.snapshot() for m in self.registry}
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.ended_at = time.time()
+
+    def delta(self) -> dict:
+        """This run's contribution: ``{name: [{labels, type, ...}, ...]}``."""
+        out: dict[str, list[dict]] = {}
+        for metric in self.registry:
+            snap = metric.snapshot()
+            base = self._entry.get(metric.key)
+            if metric.kind == "counter":
+                value = snap["value"] - (base["value"] if base else 0.0)
+                if value == 0.0:
+                    continue
+                entry = {"value": value}
+            elif metric.kind == "histogram":
+                count = snap["count"] - (base["count"] if base else 0)
+                if count == 0:
+                    continue
+                total = snap["sum"] - (base["sum"] if base else 0.0)
+                entry = {"count": count, "sum": total,
+                         "mean": total / count if count else 0.0}
+            else:  # gauge: current state
+                entry = {"value": snap["value"]}
+            out.setdefault(metric.name, []).append({
+                "type": metric.kind, "labels": dict(metric.labels), **entry,
+            })
+        return out
+
+
+# ----------------------------------------------------------------------
+# process-wide default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (what the core instruments use)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    with _registry_lock:
+        previous, _default_registry = _default_registry, registry
+    return previous
+
+
+def reset_registry() -> MetricsRegistry:
+    """Install a fresh empty registry (mainly for tests); returns it."""
+    set_registry(MetricsRegistry())
+    return _default_registry

@@ -1,0 +1,225 @@
+"""Span-based tracing with a JSONL event sink for injection campaigns.
+
+Every injection campaign becomes a replayable, auditable event stream: one
+JSON object per line, written as the campaign runs, so a crashed or slow run
+can be inspected mid-flight (``tail -f trace.jsonl``) and a finished run can
+be re-aggregated offline without re-executing a single inference.
+
+Event schema (JSONL, one object per line)
+-----------------------------------------
+Common fields: ``type`` (``"span"`` | ``"event"``), ``name``, ``ts``
+(unix seconds, event/span *end*), and free-form attributes.  Spans add
+``dur_s`` (wall-clock duration).  The campaign runner emits:
+
+* ``span  campaign.run``      — one per campaign (kind, location, format, ...)
+* ``span  campaign.layer``    — one per layer (layer, performed, retries)
+* ``event campaign.injection``— one per injection: ``layer``, ``site``
+  (flat index or metadata register), ``bits``, ``delta_loss``,
+  ``mismatch_rate``, ``dur_s`` (seconds for that injected inference)
+* ``span  goldeneye.attach`` / ``goldeneye.capture_golden`` — setup timing
+* ``span  dse.node``          — one per DSE tree evaluation
+
+Overhead contract
+-----------------
+Tracing is off by default: the process-wide tracer is a :class:`NullTracer`
+whose ``span``/``event`` are constant-time no-ops (a shared reusable context
+manager, no allocation), budgeted at <2% campaign overhead and asserted by
+``benchmarks/bench_telemetry_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Any
+
+__all__ = [
+    "JsonlSink",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "configure_tracing",
+]
+
+
+def _json_default(obj: Any) -> Any:
+    """Fallback serializer: numpy scalars/arrays and everything else."""
+    if hasattr(obj, "item"):  # numpy scalar
+        try:
+            return obj.item()
+        except Exception:  # pragma: no cover - exotic array-likes
+            pass
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return str(obj)
+
+
+class JsonlSink:
+    """Append-only JSON-lines sink (thread-safe, line-buffered)."""
+
+    def __init__(self, target: str | IO[str]):
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path = getattr(target, "name", None)
+        else:
+            self._file = open(target, "a", encoding="utf-8")
+            self._owns = True
+            self.path = str(target)
+        self.events_written = 0
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event, default=_json_default, separators=(",", ":"))
+        with self._lock:
+            self._file.write(line + "\n")
+            self.events_written += 1
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._file.flush()
+            finally:
+                if self._owns:
+                    self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _Span:
+    """Context manager recording one span's wall-clock extent."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach/override attributes mid-span (e.g. results computed inside)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        dur = time.perf_counter() - self._t0
+        event = {"type": "span", "name": self.name, "ts": time.time(),
+                 "dur_s": dur, **self.attrs}
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        self._tracer._emit(event)
+
+
+class Tracer:
+    """Active tracer: spans and point events into a :class:`JsonlSink`.
+
+    Also mirrors span durations into the metrics registry when one is given
+    (histogram ``trace.span_seconds{span=...}``), so traced runs get timing
+    distributions for free.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: JsonlSink, registry=None):
+        self.sink = sink
+        self.registry = registry
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+
+    def _emit(self, event: dict) -> None:
+        self.sink.write(event)
+        if self.registry is not None and event["type"] == "span":
+            self.registry.histogram(
+                "trace.span_seconds", span=event["name"]).observe(event["dur_s"])
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class _NullSpan:
+    """Shared, allocation-free no-op span."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: the process-wide disabled tracer (shared instance)
+NULL_TRACER = NullTracer()
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer (``NULL_TRACER`` unless configured)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` process-wide; returns the previous tracer."""
+    global _tracer
+    with _tracer_lock:
+        previous, _tracer = _tracer, tracer
+    return previous
+
+
+def configure_tracing(path: str | None, registry=None) -> Tracer | NullTracer:
+    """Enable tracing to ``path`` (JSONL); ``None`` disables tracing.
+
+    Returns the installed tracer.  The caller owns closing it (the CLI does
+    this in a ``finally``); re-configuring replaces but does not close the
+    previous tracer.
+    """
+    if path is None:
+        set_tracer(NULL_TRACER)
+        return NULL_TRACER
+    tracer = Tracer(JsonlSink(path), registry=registry)
+    set_tracer(tracer)
+    return tracer

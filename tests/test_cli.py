@@ -26,10 +26,21 @@ class TestParser:
 
     def test_all_subcommands_exist(self):
         parser = build_parser()
-        for command in ["accuracy", "sweep", "dse", "campaign", "ranges", "sites"]:
+        for command in ["accuracy", "sweep", "dse", "campaign", "ranges",
+                        "sites", "profile"]:
             args = parser.parse_args([command] if command in ("ranges", "sites")
                                      else [command, "--model", "simple_cnn"])
             assert args.command == command
+
+    def test_obs_flags_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (["sites"], ["campaign", "--model", "simple_cnn"],
+                     ["profile", "--model", "simple_cnn"]):
+            args = parser.parse_args(
+                argv + ["--trace", "t.jsonl", "--metrics-json", "m.json", "-vv"])
+            assert args.trace == "t.jsonl"
+            assert args.metrics_json == "m.json"
+            assert args.verbose == 2
 
 
 class TestCommands:
@@ -104,3 +115,64 @@ class TestExtendedCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "mixed-precision" in out
+
+
+class TestObservabilityCLI:
+    def test_campaign_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["campaign", *CHEAP, "--format", "int8",
+                     "--injections", "3", "--batch", "8",
+                     "--trace", str(trace), "--metrics-json", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "resume cache" in out
+
+        events = [json.loads(line) for line in
+                  trace.read_text().splitlines() if line.strip()]
+        assert events, "trace file must not be empty"
+        injections = [e for e in events if e["name"] == "campaign.injection"]
+        # int8 carries metadata, so the CLI runs value + metadata campaigns:
+        # 2 campaigns x 3 layers x 3 injections
+        assert len(injections) == 18
+        assert len([e for e in injections if e["kind"] == "value"]) == 9
+        assert len([e for e in injections if e["kind"] == "metadata"]) == 9
+        for e in injections:
+            for key in ("layer", "site", "bits", "delta_loss", "dur_s"):
+                assert key in e, f"missing {key} in injection event"
+        assert any(e["name"] == "campaign.run" for e in events)
+        assert any(e["name"] == "campaign.layer" for e in events)
+
+        payload = json.loads(metrics.read_text())
+        names = set(payload["metrics"])
+        assert "campaign.injections_total" in names
+        assert "campaign.injections_per_sec" in names
+        assert "resume.hit_rate" in names
+        assert "profile.phase_seconds" in names
+
+    def test_campaign_metrics_prom_export(self, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        code = main(["campaign", *CHEAP, "--format", "int8",
+                     "--injections", "2", "--batch", "8",
+                     "--metrics-prom", str(prom)])
+        assert code == 0
+        text = prom.read_text()
+        assert "# TYPE campaign_injections_total counter" in text
+        assert "resume_hit_rate" in text
+
+    def test_profile_subcommand(self, capsys):
+        code = main(["profile", *CHEAP, "--format", "bfp_e5m5_b16",
+                     "--passes", "2", "--injections", "2", "--batch", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compute" in out and "quantize" in out
+        assert "ns/elem" in out
+        assert "phase share" in out
+
+    def test_verbose_prints_per_layer_table(self, capsys):
+        code = main(["campaign", *CHEAP, "--format", "int8",
+                     "--injections", "2", "--batch", "8", "-v"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase" in out  # profiler table shown at -v

@@ -92,8 +92,12 @@ class TestUniversalInvariants:
         q = fmt.real_to_format_tensor(x)
         assert np.isfinite(q).all()
         # the quantized peak never exceeds the input peak by more than one
-        # rounding step (BFP/AFP snap to the peak's exponent grid)
-        assert np.abs(q).max() <= np.abs(x).max() * 1.5 + 1e-6
+        # rounding step (BFP/AFP snap to the peak's exponent grid).  At the
+        # very bottom of a format's subnormal range one rounding step is the
+        # value itself: round-to-nearest maps x >= step/2 up to step <= 2x,
+        # so 2x is the tight universal bound (e.g. fp_e4m3 takes 0.001 to
+        # its smallest subnormal 2^-9 = 0.001953, a 1.95x increase).
+        assert np.abs(q).max() <= np.abs(x).max() * 2.0 + 1e-6
 
     @settings(max_examples=15, deadline=None)
     @given(values=values_strategy, data=st.data())

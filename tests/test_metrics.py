@@ -152,3 +152,47 @@ class TestOutcomes:
                                "sdc_rate", "faulty_accuracy", "golden_accuracy"}
         assert result["mismatch_rate"] == result["mismatches"] / 3
         assert result["golden_accuracy"] == pytest.approx(2 / 3)
+
+
+class TestDegenerateLogits:
+    """Edge cases an injection campaign actually produces: a corrupted layer
+    can turn a whole logits row into NaN or drive single entries to +inf."""
+
+    def test_all_nan_row_does_not_poison_batch_loss(self):
+        logits = np.array([[np.nan, np.nan, np.nan], [2.0, 0.0, 1.0]])
+        labels = np.array([0, 0])
+        ce = M.cross_entropy_values(logits, labels)
+        assert np.isfinite(ce[1])  # healthy row unaffected
+        outcome = M.InferenceOutcome(logits=logits, labels=labels)
+        assert np.isfinite(outcome.accuracy)
+        assert 0.0 <= outcome.accuracy <= 1.0
+
+    def test_all_nan_row_counts_as_mismatch(self):
+        golden = np.array([[2.0, 0.0], [0.0, 2.0]])
+        faulty = golden.copy()
+        faulty[0] = np.nan
+        assert M.mismatch_count(golden, faulty) >= 1
+        rate = M.mismatch_rate(golden, faulty)
+        assert np.isfinite(rate) and 0.0 < rate <= 1.0
+
+    def test_plus_inf_logit_saturates_not_crashes(self):
+        logits = np.array([[np.inf, 0.0, 1.0]])
+        probs = M.softmax_probs(logits)
+        assert np.isfinite(probs[0, 1]) and np.isfinite(probs[0, 2])
+        ce = M.cross_entropy_values(logits, np.array([0]))
+        # predicting the label with certainty: loss must not be NaN
+        assert not np.isnan(ce[0])
+
+    def test_plus_inf_in_delta_loss_is_finite_or_inf_not_nan(self):
+        golden = np.array([[2.0, 0.0]])
+        faulty = np.array([[np.inf, 0.0]])
+        dl = M.delta_loss(golden, faulty, np.array([1]))
+        assert not np.isnan(dl)
+
+    def test_sdc_classify_with_nan_row_still_partitions(self):
+        golden = np.array([[2.0, 0.0], [0.0, 2.0], [1.0, 0.0]])
+        faulty = golden.copy()
+        faulty[0] = np.nan
+        labels = np.array([0, 1, 0])
+        counts = M.sdc_classify(golden, faulty, labels)
+        assert sum(counts.values()) == 3

@@ -1,0 +1,479 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the metrics registry primitives (Counter/Gauge/Histogram, labels,
+scoped per-run views), the span tracer + JSONL sink (+ the allocation-free
+null tracer), the per-layer profiler, the three exporters, and the
+instrumentation threaded through the platform (campaign spans, one trace
+event per injection, resume-cache gauges, CampaignResult.telemetry).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CacheStats,
+    GoldenEye,
+    publish_cache_metrics,
+    run_campaign,
+)
+from repro.models import simple_cnn
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    LayerProfiler,
+    MetricsRegistry,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    configure_tracing,
+    export_csv,
+    export_json,
+    export_prometheus,
+    get_registry,
+    get_tracer,
+    reset_registry,
+    set_tracer,
+    write_bench_json,
+    write_json,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def model():
+    return simple_cnn(num_classes=4, image_size=8, seed=0)
+
+
+@pytest.fixture
+def data(rng):
+    return (rng.standard_normal((8, 3, 8, 8)).astype(np.float32),
+            rng.integers(0, 4, size=8))
+
+
+@pytest.fixture
+def fresh_global_registry():
+    """Isolate tests that exercise the process-wide registry."""
+    fresh = reset_registry()
+    yield fresh
+    reset_registry()
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_monotonic(self, registry):
+        c = registry.counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError, match="up"):
+            c.inc(-1)
+
+    def test_gauge_up_down_set(self, registry):
+        g = registry.gauge("bytes")
+        g.set(100)
+        g.inc(5)
+        g.dec(25)
+        assert g.value == 80
+
+    def test_histogram_stats_and_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+        assert h.mean == pytest.approx(1.85)
+        assert h.min == 0.05 and h.max == 5.0
+        assert h.bucket_counts == [1, 1, 1]  # <=0.1, <=1.0, +inf
+
+    def test_same_name_labels_returns_same_object(self, registry):
+        assert registry.counter("x", layer="a") is registry.counter("x", layer="a")
+        assert registry.counter("x", layer="a") is not registry.counter("x", layer="b")
+
+    def test_kind_collision_raises(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError, match="counter"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="counter"):
+            registry.histogram("x")
+
+    def test_get_does_not_create(self, registry):
+        assert registry.get("nope") is None
+        registry.counter("yes").inc()
+        assert registry.get("yes").value == 1
+        assert len(registry) == 1
+
+    def test_collect_snapshot(self, registry):
+        registry.counter("a.b", kind="v").inc(2)
+        registry.gauge("a.c").set(7)
+        snap = registry.collect()
+        assert snap["a.b"][0] == {"type": "counter", "labels": {"kind": "v"},
+                                  "value": 2.0}
+        assert snap["a.c"][0]["value"] == 7.0
+        assert list(registry.collect(prefix="a.c")) == ["a.c"]
+
+    def test_thread_safety_smoke(self, registry):
+        c = registry.counter("contended")
+
+        def worker():
+            for _ in range(200):
+                registry.counter("contended").inc()
+                registry.histogram("h", t="1").observe(0.5)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * 200
+        assert registry.histogram("h", t="1").count == 8 * 200
+
+    def test_run_scope_deltas(self, registry):
+        registry.counter("n").inc(10)
+        registry.histogram("h").observe(1.0)
+        with registry.run_scope("run-1") as scope:
+            registry.counter("n").inc(3)
+            registry.histogram("h").observe(2.0)
+            registry.gauge("g").set(42)
+        delta = scope.delta()
+        assert delta["n"][0]["value"] == 3.0       # not 13
+        assert delta["h"][0]["count"] == 1         # not 2
+        assert delta["h"][0]["sum"] == pytest.approx(2.0)
+        assert delta["g"][0]["value"] == 42.0      # gauges report state
+        assert scope.started_at <= scope.ended_at
+
+    def test_run_scope_skips_untouched_metrics(self, registry):
+        registry.counter("quiet").inc(5)
+        with registry.run_scope("r") as scope:
+            pass
+        assert "quiet" not in scope.delta()
+
+
+# ----------------------------------------------------------------------
+# tracer + JSONL sink
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_and_event_schema(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("campaign.run", kind="value") as span:
+            tracer.event("campaign.injection", layer="fc", site=3,
+                         bits=[0, 4], delta_loss=0.5)
+            span.set(performed=1)
+        events = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [e["type"] for e in events] == ["event", "span"]
+        inj, run = events
+        assert inj["name"] == "campaign.injection"
+        assert inj["bits"] == [0, 4] and inj["site"] == 3
+        assert run["name"] == "campaign.run"
+        assert run["dur_s"] >= 0 and run["performed"] == 1 and run["kind"] == "value"
+        assert all("ts" in e for e in events)
+
+    def test_span_records_error(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        event = json.loads(buf.getvalue())
+        assert event["error"] == "RuntimeError"
+
+    def test_numpy_attrs_serialise(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        tracer.event("e", scalar=np.float32(1.5), arr=np.arange(3),
+                     i=np.int64(7))
+        event = json.loads(buf.getvalue())
+        assert event["scalar"] == 1.5
+        assert event["arr"] == [0, 1, 2]
+        assert event["i"] == 7
+
+    def test_span_durations_mirrored_to_registry(self, registry):
+        tracer = Tracer(JsonlSink(io.StringIO()), registry=registry)
+        with tracer.span("work"):
+            pass
+        hist = registry.get("trace.span_seconds", span="work")
+        assert hist is not None and hist.count == 1
+
+    def test_null_tracer_is_noop_and_shared(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        span1 = tracer.span("a", k=1)
+        span2 = tracer.span("b")
+        assert span1 is span2  # shared, allocation-free
+        with span1 as s:
+            s.set(x=1)  # must not raise
+        tracer.event("e", any="thing")
+        tracer.close()
+
+    def test_configure_tracing_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = configure_tracing(str(path))
+        try:
+            assert get_tracer() is tracer and tracer.enabled
+            tracer.event("hello", n=1)
+        finally:
+            tracer.close()
+            assert configure_tracing(None) is NULL_TRACER
+        assert json.loads(path.read_text())["name"] == "hello"
+        assert get_tracer() is NULL_TRACER
+
+    def test_sink_counts_and_file_ownership(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with JsonlSink(str(path)) as sink:
+            sink.write({"a": 1})
+            sink.write({"b": 2})
+            assert sink.events_written == 2
+        assert len(path.read_text().splitlines()) == 2
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_phases_recorded_under_goldeneye(self, model, data):
+        images, labels = data
+        prof = LayerProfiler()
+        with GoldenEye(model, "int8", profiler=prof) as ge:
+            run_campaign(ge, images, labels, injections_per_layer=2, seed=0)
+        assert set(prof.layers) == {"conv1", "conv2", "fc"}
+        for layer in prof.layers:
+            compute = prof.phase_stats(layer, "compute")
+            quantize = prof.phase_stats(layer, "quantize")
+            inject = prof.phase_stats(layer, "inject")
+            assert compute.calls > 0 and compute.total_s > 0
+            assert quantize.calls == compute.calls
+            assert inject.calls == compute.calls
+            assert compute.ns_per_element > 0
+
+    def test_activation_footprints(self, model, data):
+        images, labels = data
+        prof = LayerProfiler()
+        with GoldenEye(model, "fp16", profiler=prof) as ge:
+            from repro.core.campaign import golden_inference
+            golden_inference(ge, images, labels)
+        d = prof.as_dict()
+        for layer, entry in d.items():
+            assert entry["activation_bytes"] > 0
+            assert entry["activation_bytes_peak"] >= entry["activation_bytes"]
+            assert entry["output_shape"][0] == 8  # batch axis preserved
+
+    def test_detach_removes_pre_hooks(self, model, data):
+        images, labels = data
+        prof = LayerProfiler()
+        ge = GoldenEye(model, "fp16", profiler=prof)
+        with ge:
+            pass
+        for state in ge.layers.values():
+            assert state.pre_hook_handle is None
+            assert not state.module._forward_pre_hooks
+
+    def test_publish_and_table(self, model, data, registry):
+        images, labels = data
+        prof = LayerProfiler()
+        with GoldenEye(model, "int8", profiler=prof) as ge:
+            run_campaign(ge, images, labels, injections_per_layer=1, seed=0)
+        prof.publish(registry)
+        g = registry.get("profile.phase_seconds", layer="fc", phase="quantize")
+        assert g is not None and g.value > 0
+        assert registry.get("profile.activation_bytes", layer="conv1").value > 0
+        table = prof.table()
+        assert "fc" in table and "quantize" in table and "ns/elem" in table
+
+    def test_empty_profiler_table(self):
+        assert "no layers profiled" in LayerProfiler().table()
+
+    def test_total_seconds_by_phase(self, model, data):
+        images, labels = data
+        prof = LayerProfiler()
+        with GoldenEye(model, "int8", profiler=prof) as ge:
+            from repro.core.campaign import golden_inference
+            golden_inference(ge, images, labels)
+        total = prof.total_seconds()
+        assert total == pytest.approx(
+            sum(prof.total_seconds(p)
+                for p in ("compute", "quantize", "inject", "detect")))
+
+    def test_no_profiler_means_no_pre_hooks(self, model, data):
+        images, labels = data
+        ge = GoldenEye(model, "fp16")
+        with ge:
+            for state in ge.layers.values():
+                assert state.pre_hook_handle is None
+                assert not state.module._forward_pre_hooks
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def _sample_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("injection.flips_total", kind="value",
+                         location="neuron").inc(5)
+        registry.gauge("resume.hit_rate").set(0.75)
+        h = registry.histogram("campaign.injection_seconds",
+                               buckets=(0.01, 0.1), layer="fc")
+        h.observe(0.005)
+        h.observe(0.05)
+        h.observe(1.0)
+        return registry
+
+    def test_export_json_roundtrips(self, tmp_path):
+        registry = self._sample_registry()
+        path = tmp_path / "m.json"
+        payload = write_json(str(path), registry, extra={"run": "t"})
+        loaded = json.loads(path.read_text())
+        assert loaded["run"] == "t"
+        metrics = loaded["metrics"]
+        assert metrics["resume.hit_rate"][0]["value"] == 0.75
+        assert metrics["injection.flips_total"][0]["labels"] == {
+            "kind": "value", "location": "neuron"}
+        assert metrics["campaign.injection_seconds"][0]["count"] == 3
+        assert payload["metrics"] == metrics
+
+    def test_export_csv_rows(self):
+        out = export_csv(self._sample_registry())
+        lines = out.strip().splitlines()
+        assert lines[0] == "name,labels,type,field,value"
+        assert any("injection.flips_total" in l and "5" in l for l in lines)
+        assert any("resume.hit_rate" in l and "0.75" in l for l in lines)
+        # histogram expands into count/sum/mean/min/max rows
+        assert sum("campaign.injection_seconds" in l for l in lines) == 5
+
+    def test_export_prometheus_format(self):
+        text = export_prometheus(self._sample_registry())
+        assert '# TYPE injection_flips_total counter' in text
+        assert 'injection_flips_total{kind="value",location="neuron"} 5.0' in text
+        assert "# TYPE resume_hit_rate gauge" in text
+        # cumulative buckets: 1 <= 0.01, 2 <= 0.1, 3 total
+        assert 'campaign_injection_seconds_bucket{layer="fc",le="0.01"} 1' in text
+        assert 'campaign_injection_seconds_bucket{layer="fc",le="0.1"} 2' in text
+        assert 'campaign_injection_seconds_bucket{layer="fc",le="+Inf"} 3' in text
+        assert 'campaign_injection_seconds_count{layer="fc"} 3' in text
+
+    def test_prometheus_sanitises_names(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-name.with stuff", **{"bad label": "q\"uote"}).inc()
+        text = export_prometheus(registry)
+        assert "weird_name_with_stuff" in text
+        assert 'bad_label="q\\"uote"' in text
+
+    def test_write_bench_json(self, tmp_path):
+        path = write_bench_json("demo", {"speedup": 2.5},
+                                directory=str(tmp_path))
+        loaded = json.loads(open(path).read())
+        assert loaded["bench"] == "demo"
+        assert loaded["speedup"] == 2.5
+        assert path.endswith("BENCH_demo.json")
+
+
+# ----------------------------------------------------------------------
+# platform instrumentation end-to-end
+# ----------------------------------------------------------------------
+class TestPlatformInstrumentation:
+    def test_campaign_trace_has_one_event_per_injection(self, model, data,
+                                                        tmp_path):
+        images, labels = data
+        path = tmp_path / "trace.jsonl"
+        tracer = configure_tracing(str(path))
+        try:
+            with GoldenEye(model, "int8") as ge:
+                result = run_campaign(ge, images, labels,
+                                      injections_per_layer=4, seed=0)
+        finally:
+            tracer.close()
+            set_tracer(NULL_TRACER)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        injections = [e for e in events if e["name"] == "campaign.injection"]
+        performed = sum(r.injections for r in result.per_layer.values())
+        assert len(injections) == performed == 12
+        for e in injections:
+            assert {"layer", "site", "bits", "delta_loss", "mismatch_rate",
+                    "dur_s"} <= set(e)
+        layer_spans = [e for e in events if e["name"] == "campaign.layer"]
+        assert {s["layer"] for s in layer_spans} == set(result.per_layer)
+        run_spans = [e for e in events if e["name"] == "campaign.run"]
+        assert len(run_spans) == 1
+        assert run_spans[0]["injections"] == performed
+        assert any(e["name"] == "goldeneye.capture_golden" for e in events)
+
+    def test_campaign_telemetry_field(self, model, data):
+        images, labels = data
+        with GoldenEye(model, "fp16") as ge:
+            result = run_campaign(ge, images, labels,
+                                  injections_per_layer=3, seed=0)
+        tel = result.telemetry
+        assert tel is not None
+        assert tel["injections"] == 9
+        assert tel["wall_seconds"] > 0
+        assert tel["injections_per_sec"] > 0
+        assert set(tel["per_layer"]) == set(result.per_layer)
+        for layer, entry in tel["per_layer"].items():
+            assert entry["seconds"] > 0
+            assert entry["injections"] == result.per_layer[layer].injections
+
+    def test_campaign_metrics_in_registry(self, model, data,
+                                          fresh_global_registry):
+        images, labels = data
+        with GoldenEye(model, "int8") as ge:
+            run_campaign(ge, images, labels, injections_per_layer=3, seed=0)
+        registry = fresh_global_registry
+        flips = registry.get("injection.flips_total",
+                             kind="value", location="neuron")
+        assert flips is not None and flips.value == 9
+        assert registry.get("campaign.injections_total",
+                            kind="value", location="neuron").value == 9
+        assert registry.get("resume.hit_rate").value == 1.0
+        assert registry.get("campaign.injections_per_sec").value > 0
+        assert registry.get("goldeneye.attaches_total").value == 1
+        hist = registry.get("campaign.injection_seconds", layer="fc")
+        assert hist is not None and hist.count == 3
+
+    def test_cache_stats_roundtrip_through_registry_bridge(self, registry):
+        stats = CacheStats(hits=30, misses=10, evictions=2, skipped=1,
+                           replayed=28, recomputed=2, diverged=0)
+        flat = publish_cache_metrics(stats, registry=registry)
+        # every as_dict field is exposed as a gauge, values identical
+        recovered = {k: registry.get(f"resume.{k}").value
+                     for k in CacheStats.FIELDS}
+        assert recovered == {k: float(v) for k, v in stats.as_dict().items()}
+        assert registry.get("resume.hit_rate").value == pytest.approx(0.75)
+        assert registry.get("resume.replay_rate").value == pytest.approx(28 / 30)
+        assert flat["hit_rate"] == pytest.approx(0.75)
+
+    def test_cache_stats_bridge_zero_division_safe(self, registry):
+        publish_cache_metrics(CacheStats(), registry=registry)
+        assert registry.get("resume.hit_rate").value == 0.0
+        assert registry.get("resume.replay_rate").value == 0.0
+
+    def test_weight_conversion_timing_recorded(self, model, data,
+                                               fresh_global_registry):
+        with GoldenEye(model, "bfp_e5m5_b16") as ge:
+            pass
+        hist = fresh_global_registry.get("goldeneye.weight_convert_seconds",
+                                         layer="conv1")
+        assert hist is not None and hist.count == 1
+
+    def test_dse_instrumentation(self, model, data, fresh_global_registry):
+        from repro.core import binary_tree_search
+        images, labels = data
+        binary_tree_search(model, images, labels, family="int", threshold=0.5,
+                           bitwidths=(4, 8), max_nodes=4)
+        nodes = fresh_global_registry.get("dse.nodes_total", family="int")
+        assert nodes is not None and nodes.value >= 1
+        assert fresh_global_registry.get("dse.node_seconds",
+                                         family="int").count == nodes.value
