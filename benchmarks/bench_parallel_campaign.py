@@ -1,0 +1,116 @@
+"""Parallel campaign executor: serial vs N-worker throughput and parity.
+
+``run_campaign(..., workers=N)`` shards the deterministically pre-sampled
+plans across a supervised fork-based worker pool (:mod:`repro.exec`).  Two
+properties are measured here:
+
+* **throughput** — injections/second for serial vs 2- and 4-worker pools on
+  the ResNet18 analogue.  Forked workers inherit the golden pass and the
+  activation cache copy-on-write, so scaling is bounded mainly by the
+  per-injection compute itself; this benchmark records the achieved
+  speedups so the trajectory is diffable per PR (no hard scaling assert —
+  CI machines may be oversubscribed);
+* **parity** — the parallel per-layer statistics must be **bit-identical**
+  to serial execution, which *is* asserted: parallelism must never change
+  the science.
+
+Reported: wall-clock + injections/sec per pool size, the parallel/serial
+speedups, and the write-ahead-journal overhead of the 2-worker run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.core import GoldenEye, run_campaign
+from repro.obs import write_bench_json
+
+from .conftest import print_block
+
+INJECTIONS_PER_LAYER = 8
+SPEC = "bfp_e5m5_b16"
+POOL_SIZES = (1, 2, 4)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel executor requires the fork start method")
+def test_parallel_campaign_scaling_and_parity(resnet, batch, tmp_path):
+    model, _ = resnet
+    images, labels = batch
+    model.eval()
+
+    runs: dict[int, dict] = {}
+    with GoldenEye(model, SPEC) as ge:
+        layers = ge.layer_names()
+        for workers in POOL_SIZES:
+            start = time.perf_counter()
+            result = run_campaign(ge, images, labels,
+                                  injections_per_layer=INJECTIONS_PER_LAYER,
+                                  seed=0, workers=workers)
+            wall = time.perf_counter() - start
+            total = sum(r.injections for r in result.per_layer.values())
+            runs[workers] = {
+                "wall_s": wall,
+                "injections": total,
+                "injections_per_sec": total / wall if wall > 0 else 0.0,
+                "result": result,
+            }
+
+        # journal overhead: same 2-worker campaign, write-ahead journaled
+        start = time.perf_counter()
+        journaled = run_campaign(ge, images, labels,
+                                 injections_per_layer=INJECTIONS_PER_LAYER,
+                                 seed=0, workers=2,
+                                 journal=str(tmp_path / "bench.jsonl"))
+        t_journal = time.perf_counter() - start
+
+    serial = runs[1]["result"]
+    lines = [
+        "Parallel campaign executor: scaling + bit-identical parity",
+        f"  model                 resnet18 analogue ({SPEC})",
+        f"  layers x inj/layer    {len(layers)} x {INJECTIONS_PER_LAYER}",
+    ]
+    for workers in POOL_SIZES:
+        run = runs[workers]
+        speedup = runs[1]["wall_s"] / run["wall_s"]
+        lines.append(
+            f"  {workers} worker(s)           {run['wall_s'] * 1000:8.1f} ms"
+            f"  {run['injections_per_sec']:8.1f} inj/s  ({speedup:.2f}x)")
+    journal_overhead = t_journal / runs[2]["wall_s"] - 1.0
+    lines.append(f"  2 workers + journal   {t_journal * 1000:8.1f} ms  "
+                 f"(journal overhead {journal_overhead:+.1%})")
+    print_block("\n".join(lines))
+
+    write_bench_json("parallel_campaign", {
+        "injections_per_layer": INJECTIONS_PER_LAYER,
+        "layers": len(layers),
+        "cpu_count": multiprocessing.cpu_count(),  # interpret speedups!
+        "pools": {
+            str(w): {"wall_s": runs[w]["wall_s"],
+                     "injections_per_sec": runs[w]["injections_per_sec"],
+                     "speedup_vs_serial": runs[1]["wall_s"] / runs[w]["wall_s"]}
+            for w in POOL_SIZES
+        },
+        "journal_wall_s": t_journal,
+        "journal_overhead_frac": journal_overhead,
+    })
+
+    # --- parity: parallelism must never change the science ---------------
+    for workers in POOL_SIZES[1:]:
+        parallel = runs[workers]["result"]
+        assert not parallel.interrupted and not parallel.quarantined
+        assert parallel.per_layer.keys() == serial.per_layer.keys()
+        for layer in serial.per_layer:
+            assert parallel.per_layer[layer].delta_losses == \
+                serial.per_layer[layer].delta_losses, (workers, layer)
+            assert parallel.per_layer[layer].mismatch_rate == \
+                serial.per_layer[layer].mismatch_rate, (workers, layer)
+            assert parallel.per_layer[layer].sdc_rate == \
+                serial.per_layer[layer].sdc_rate, (workers, layer)
+    for layer in serial.per_layer:
+        assert journaled.per_layer[layer].delta_losses == \
+            serial.per_layer[layer].delta_losses, ("journaled", layer)

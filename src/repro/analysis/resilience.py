@@ -71,6 +71,9 @@ def profile_resilience(
     use_range_detector: bool = False,
     targets=("conv", "linear"),
     profiler=None,
+    workers: int = 1,
+    journal: str | None = None,
+    shard_timeout: float | None = None,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -82,6 +85,12 @@ def profile_resilience(
 
     ``profiler`` (a :class:`~repro.obs.profiler.LayerProfiler`) splits every
     instrumented forward into compute / quantize / inject / detect phases.
+
+    ``workers`` / ``journal`` / ``shard_timeout`` are forwarded to
+    :func:`~repro.core.campaign.run_campaign` (parallel execution and
+    crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
+    metadata campaign journals to ``journal + ".metadata"`` so the two
+    campaigns never share (and never clash over) one fingerprinted file.
     """
     if use_range_detector and detector is None:
         from ..core.detector import RangeDetector
@@ -99,13 +108,17 @@ def profile_resilience(
         value_campaign = run_campaign(
             platform, images, labels, kind="value", location=location,
             injections_per_layer=injections_per_layer, seed=seed,
+            workers=workers, journal=journal, shard_timeout=shard_timeout,
         )
         fmt = platform.spawn_format()
         metadata_campaign = None
         if fmt is not None and fmt.has_metadata:
+            metadata_journal = f"{journal}.metadata" if journal else None
             metadata_campaign = run_campaign(
                 platform, images, labels, kind="metadata", location=location,
                 injections_per_layer=injections_per_layer, seed=seed + 1,
+                workers=workers, journal=metadata_journal,
+                shard_timeout=shard_timeout,
             )
     return ResilienceProfile(
         model_name=model_name,

@@ -8,7 +8,8 @@ surface over the reproduction:
     python -m repro sweep    --model deit_tiny --families fp,afp --bits 16,8,4
     python -m repro dse      --model resnet18 --family bfp --threshold 0.01
     python -m repro campaign --model resnet18 --format bfp_e5m5_b16 \
-                             --kind metadata --injections 100
+                             --kind metadata --injections 100 \
+                             --workers 4 --journal camp.jsonl
     python -m repro profile  --model resnet18 --format bfp_e5m5_b16
     python -m repro ranges
     python -m repro sites
@@ -164,6 +165,20 @@ def _campaign_summary(campaign) -> str:
             f"throughput: {tel['injections_per_sec']:.1f} injections/s "
             f"({tel['injections']} injections in {tel['wall_seconds']:.2f}s, "
             f"{tel['sampling_retries']} sampling retries)")
+        if tel.get("workers", 1) > 1 or tel.get("journal_skipped"):
+            lines.append(
+                f"execution: {tel.get('workers', 1)} worker(s) | "
+                f"journal-skipped {tel.get('journal_skipped', 0)} | "
+                f"quarantined shards {tel.get('quarantined_shards', 0)}")
+    if campaign.quarantined:
+        abandoned = sum(len(q.get("seqs", ())) for q in campaign.quarantined)
+        lines.append(
+            f"WARNING: {len(campaign.quarantined)} shard(s) quarantined "
+            f"({abandoned} injection(s) abandoned) — see the journal/trace "
+            "for details")
+    if campaign.interrupted:
+        lines.append("WARNING: campaign interrupted — partial result; "
+                     "re-run with the same --journal to resume")
     stats = campaign.resume_stats
     if stats:
         lookups = stats["hits"] + stats["misses"]
@@ -182,7 +197,8 @@ def cmd_campaign(args) -> int:
     profile = profile_resilience(
         model, args.model, fmt, images[: args.batch], labels[: args.batch],
         injections_per_layer=args.injections, location=args.location,
-        seed=args.seed, profiler=profiler)
+        seed=args.seed, profiler=profiler, workers=args.workers,
+        journal=args.journal, shard_timeout=args.shard_timeout)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -318,6 +334,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="unique single-bit flips per layer")
     p.add_argument("--batch", type=int, default=16,
                    help="validation samples per injected inference")
+    group = p.add_argument_group("robust execution")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker processes (>= 2 enables the supervised "
+                            "parallel executor; results are bit-identical "
+                            "to serial)")
+    group.add_argument("--journal", metavar="FILE", default=None,
+                       help="write-ahead JSONL journal; re-running with the "
+                            "same journal resumes past completed injections "
+                            "(metadata campaigns use FILE.metadata)")
+    group.add_argument("--shard-timeout", type=float, default=None,
+                       help="seconds before a stuck shard attempt is killed "
+                            "and retried (then quarantined)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("attack", help="adversarial attack efficacy vs format (§V-D)")

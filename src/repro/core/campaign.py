@@ -15,6 +15,34 @@ instead of O(network) per injection, bit-identical logits (the Gräfe et al.
 2023 intermediate-state-checkpointing optimisation).  Set ``resume=False``
 to force full re-execution for every injection.
 
+Pipeline
+--------
+The runner is a three-stage pipeline with a strict separation that makes
+parallel execution, write-ahead journaling and crash recovery possible:
+
+1. **Sampling** (:func:`sample_layer_plans`) — deterministically draws each
+   layer's unique injection plans up front, consuming only the layer's child
+   RNG.  Sampling never touches the model.
+2. **Execution** (:func:`execute_injection`) — runs one injected inference
+   for one plan and returns a plain-dict *record* (site, bits, ΔLoss,
+   mismatch/SDC rates, duration).  Records are JSON- and pickle-friendly so
+   they can cross process boundaries and be journaled.
+3. **Aggregation** (:func:`aggregate_layer`) — folds the records of a layer
+   *in plan order* (``seq``) into a :class:`LayerCampaignResult`.  Because
+   the fold order is fixed by ``seq`` — not by execution order — serial,
+   parallel and journal-resumed campaigns produce bit-identical statistics.
+
+Parallel execution & crash safety
+---------------------------------
+``run_campaign(..., workers=N)`` shards the sampled plans into per-layer
+chunks and executes them on a supervised ``multiprocessing`` pool (see
+:mod:`repro.exec`): per-shard timeout + bounded retry with exponential
+backoff, quarantine of poison shards, dead-worker detection with shard
+reassignment, and SIGINT/SIGTERM-safe shutdown returning a partial,
+resumable result.  ``journal=PATH`` write-ahead-journals every completed
+record (flushed before aggregation) so a crashed or killed campaign resumes
+by skipping journaled work — reproducing the identical aggregate.
+
 Determinism
 -----------
 Site sampling is **per-layer deterministic**: each layer draws from a child
@@ -22,20 +50,23 @@ generator ``np.random.default_rng([seed, layer_index])`` (``layer_index`` =
 the layer's position in the platform's full instrumented-layer order), so
 restricting ``layers=`` to a subset, reordering the subset, or a layer
 exhausting its site space early never shifts the sites sampled at any
-*other* layer.  ``seed`` alone reproduces an entire campaign.
+*other* layer.  ``seed`` alone reproduces an entire campaign — serial or
+parallel, interrupted or not.
 
 Telemetry
 ---------
 The runner is fully instrumented (see :mod:`repro.obs`): a ``campaign.run``
-span wraps the campaign, a ``campaign.layer`` span wraps each layer, and —
-when tracing is enabled — one ``campaign.injection`` event is emitted per
-injection (layer, site, bits, ΔLoss, wall-time), making every campaign a
-replayable JSONL event stream.  Counters/histograms land in the process
-registry (``campaign.injections_total``, ``campaign.injection_seconds``,
-``campaign.sampling_retries_total``, ``campaign.injection_errors_total``)
-and the resume cache's counters are bridged to ``resume.*`` gauges.
-:attr:`CampaignResult.telemetry` carries the run-level summary
-(wall-time, injections/sec, per-layer timing).
+span wraps the campaign, a ``campaign.layer`` span wraps each serially
+executed layer, and — when tracing is enabled — one ``campaign.injection``
+event is emitted per injection (layer, site, bits, ΔLoss, wall-time),
+making every campaign a replayable JSONL event stream.  Counters/histograms
+land in the process registry (``campaign.injections_total``,
+``campaign.injection_seconds``, ``campaign.sampling_retries_total``,
+``campaign.injection_errors_total``, ``campaign.journal_skipped_total``;
+parallel runs add the ``exec.*`` family) and the resume cache's counters
+are bridged to ``resume.*`` gauges.  :attr:`CampaignResult.telemetry`
+carries the run-level summary (wall-time, injections/sec, per-layer
+timing).
 """
 
 from __future__ import annotations
@@ -56,7 +87,18 @@ from .injection import InjectionError, MetadataInjection, ValueInjection, \
 from .metrics import InferenceOutcome, compare_outcomes
 from .resume import DEFAULT_CACHE_BUDGET
 
-__all__ = ["CampaignResult", "LayerCampaignResult", "run_campaign", "golden_inference"]
+__all__ = [
+    "CampaignResult",
+    "LayerCampaignResult",
+    "LayerPlan",
+    "run_campaign",
+    "golden_inference",
+    "sample_layer_plans",
+    "execute_injection",
+    "aggregate_layer",
+    "plan_site",
+    "record_matches_plan",
+]
 
 logger = logging.getLogger("repro.campaign")
 
@@ -91,6 +133,14 @@ class CampaignResult:
     resume_stats: dict | None = None
     #: run-level telemetry summary (wall-time, throughput, per-layer timing)
     telemetry: dict | None = None
+    #: shards abandoned after exhausting their retry budget (parallel mode);
+    #: each entry records shard id, layer, outstanding seqs, attempts, reason
+    quarantined: list[dict] = field(default_factory=list)
+    #: True when the campaign was stopped early (SIGINT/SIGTERM or a test
+    #: abort); the result is partial but — with a journal — resumable
+    interrupted: bool = False
+    #: the write-ahead journal backing this run, if any
+    journal_path: str | None = None
 
     def mean_delta_loss(self) -> float:
         """Network-level resilience: ΔLoss averaged across layers (§V-A)."""
@@ -104,6 +154,25 @@ class CampaignResult:
         return float(np.mean([r.mismatch_rate for r in self.per_layer.values()]))
 
 
+@dataclass
+class LayerPlan:
+    """The deterministically sampled injection plans for one layer.
+
+    Produced by :func:`sample_layer_plans` *before* any execution, so the
+    same plan set can be executed serially, sharded across workers, or
+    partially skipped when a journal already holds some records.
+    """
+
+    layer: str
+    plans: list  # ValueInjection | MetadataInjection, in draw (seq) order
+    #: sampling attempts that drew an already-seen or invalid site
+    retries: int = 0
+    #: InjectionError message when sampling stopped early (None = clean)
+    sampling_error: str | None = None
+    #: total unique (site, bits) space at this layer
+    site_space: int = 0
+
+
 def golden_inference(platform: GoldenEye, images: np.ndarray,
                      labels: np.ndarray) -> InferenceOutcome:
     """Run one clean (injection-free) inference under the platform's format."""
@@ -115,6 +184,181 @@ def golden_inference(platform: GoldenEye, images: np.ndarray,
     return InferenceOutcome(logits=logits.data.copy(), labels=np.asarray(labels))
 
 
+# ----------------------------------------------------------------------
+# stage 1: deterministic plan sampling
+# ----------------------------------------------------------------------
+def sample_layer_plans(
+    platform: GoldenEye,
+    layer: str,
+    kind: str,
+    location: str,
+    budget: int,
+    rng: np.random.Generator,
+    num_bits: int = 1,
+) -> LayerPlan:
+    """Draw up to ``budget`` unique injection plans for ``layer``.
+
+    Consumes only ``rng`` — never the model — so the plan sequence is a pure
+    function of the layer's child generator and the platform's (static)
+    site-space geometry.  A late :class:`InjectionError` keeps the plans
+    already drawn (``sampling_error`` is set and the layer degrades to a
+    partial result instead of being discarded wholesale).
+    """
+    engine = platform.injector
+    registry = get_registry()
+    seen: set[tuple] = set()
+    plans: list = []
+    attempts = 0
+    max_attempts = budget * 20
+    sampling_error: str | None = None
+    site_space = _site_space(platform, layer, kind, location)
+    while len(plans) < budget and attempts < max_attempts:
+        attempts += 1
+        try:
+            if kind == "value":
+                plan = engine.sample_value_injection(rng, layer=layer,
+                                                     location=location,
+                                                     num_bits=num_bits)
+                key = (plan.flat_index, plan.bits)
+            else:
+                plan = engine.sample_metadata_injection(rng, layer=layer,
+                                                        location=location,
+                                                        num_bits=num_bits)
+                key = (plan.register, plan.bits)
+        except InjectionError as exc:
+            # site inapplicable (e.g. metadata on a plain FP layer).  Keep
+            # whatever was already drawn: a partial layer result is strictly
+            # better than throwing the performed work away.
+            sampling_error = str(exc)
+            registry.counter(
+                "campaign.injection_errors_total",
+                help="layers skipped because sampling raised InjectionError",
+                kind=kind, location=location).inc()
+            break
+        if key in seen:
+            if len(seen) >= site_space:
+                break  # exhausted every unique site at this layer
+            continue
+        seen.add(key)
+        plans.append(plan)
+    retries = attempts - len(plans)
+    if retries:
+        registry.counter("campaign.sampling_retries_total",
+                         help="sampling attempts that hit a seen/invalid site",
+                         kind=kind, location=location).inc(retries)
+    return LayerPlan(layer=layer, plans=plans, retries=retries,
+                     sampling_error=sampling_error, site_space=site_space)
+
+
+# ----------------------------------------------------------------------
+# stage 2: single-injection execution
+# ----------------------------------------------------------------------
+def plan_site(plan) -> int:
+    """The journal/trace site id of a plan (flat index or register)."""
+    return int(plan.flat_index if isinstance(plan, ValueInjection)
+               else plan.register)
+
+
+def execute_injection(
+    platform: GoldenEye,
+    golden: InferenceOutcome,
+    images: np.ndarray,
+    plan,
+    use_resume: bool,
+) -> dict:
+    """Run one injected inference for ``plan`` and return its record.
+
+    The record is a plain dict (JSON/pickle friendly) holding everything
+    aggregation needs: ``site``, ``bits``, ``delta_loss``,
+    ``mismatch_rate``, ``sdc_rate`` and ``dur_s``.  Callers stamp ``layer``
+    and ``seq``.  Execution is side-effect free on the platform (the armed
+    corruption is always disarmed), so records are reproducible from the
+    plan alone — the property the write-ahead journal relies on.
+    """
+    t_inj = time.perf_counter()
+    with platform.injector.armed(plan):
+        if use_resume:
+            faulty = InferenceOutcome(
+                logits=platform.forward_from(plan.layer, images),
+                labels=golden.labels,
+            )
+        else:
+            faulty = golden_inference(platform, images, golden.labels)
+    metrics = compare_outcomes(golden, faulty)
+    return {
+        "site": plan_site(plan),
+        "bits": list(plan.bits),
+        "delta_loss": float(metrics["delta_loss"]),
+        "mismatch_rate": float(metrics["mismatch_rate"]),
+        "sdc_rate": float(metrics["sdc_rate"]),
+        "dur_s": time.perf_counter() - t_inj,
+    }
+
+
+def record_matches_plan(record: dict, plan) -> bool:
+    """True when a journaled record was produced by exactly this plan."""
+    return (record.get("site") == plan_site(plan)
+            and list(record.get("bits", ())) == list(plan.bits))
+
+
+def emit_injection_telemetry(record: dict, kind: str, location: str) -> None:
+    """Publish one executed record to the registry + tracer (parent side)."""
+    registry = get_registry()
+    registry.counter("campaign.injections_total",
+                     help="injected inferences executed",
+                     kind=kind, location=location).inc()
+    registry.histogram("campaign.injection_seconds",
+                       help="wall-clock per injected inference",
+                       layer=record["layer"]).observe(record["dur_s"])
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.event("campaign.injection", layer=record["layer"], kind=kind,
+                     location=location, site=int(record["site"]),
+                     bits=list(record["bits"]),
+                     delta_loss=record["delta_loss"],
+                     mismatch_rate=record["mismatch_rate"],
+                     sdc_rate=record["sdc_rate"], dur_s=record["dur_s"])
+
+
+# ----------------------------------------------------------------------
+# stage 3: order-fixed aggregation
+# ----------------------------------------------------------------------
+def aggregate_layer(layer_plan: LayerPlan,
+                    records: dict[int, dict]) -> LayerCampaignResult | None:
+    """Fold one layer's records (keyed by ``seq``) into its statistics.
+
+    Records are folded in plan (``seq``) order regardless of the order in
+    which they were executed, so a 4-worker campaign, a serial campaign and
+    a journal-resumed campaign all aggregate bit-identically.  Missing seqs
+    (quarantined shards, interrupted runs) are simply absent — the layer
+    degrades to the statistics of the records that exist.
+    """
+    ordered = [records[seq] for seq in sorted(records)]
+    if not ordered:
+        return None
+    delta_losses = [r["delta_loss"] for r in ordered]
+    mismatches = 0.0
+    sdcs = 0.0
+    for r in ordered:
+        mismatches += r["mismatch_rate"]
+        sdcs += r["sdc_rate"]
+    performed = len(ordered)
+    return LayerCampaignResult(
+        layer=layer_plan.layer,
+        injections=performed,
+        mean_delta_loss=float(np.mean(delta_losses)),
+        max_delta_loss=float(np.max(delta_losses)),
+        mismatch_rate=mismatches / performed,
+        sdc_rate=sdcs / performed,
+        delta_losses=delta_losses,
+        seconds=float(sum(r["dur_s"] for r in ordered)),
+        retries=layer_plan.retries,
+    )
+
+
+# ----------------------------------------------------------------------
+# the campaign driver
+# ----------------------------------------------------------------------
 def run_campaign(
     platform: GoldenEye,
     images: np.ndarray,
@@ -127,6 +371,11 @@ def run_campaign(
     num_bits: int = 1,
     resume: bool = True,
     resume_budget_bytes: int | None = DEFAULT_CACHE_BUDGET,
+    workers: int = 1,
+    journal: str | None = None,
+    shard_timeout: float | None = None,
+    max_retries: int = 2,
+    exec_config=None,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
 
@@ -143,189 +392,235 @@ def run_campaign(
     each injected inference from its victim layer (see module docstring);
     ``resume_budget_bytes`` caps the activation cache (None = unlimited).
     Results are bit-identical either way.
+
+    Robust execution
+    ----------------
+    ``workers >= 2`` shards the campaign across a supervised fork-based
+    worker pool (:mod:`repro.exec`) — per-layer statistics are bit-identical
+    to serial mode.  ``journal=PATH`` write-ahead-journals every completed
+    injection; re-running the same campaign with the same journal skips the
+    journaled work and reproduces the identical aggregate (crash/SIGKILL
+    recovery).  ``shard_timeout`` bounds one shard attempt (seconds); a
+    shard that keeps timing out or crashing is retried ``max_retries``
+    times with exponential backoff and then **quarantined** — reported in
+    :attr:`CampaignResult.quarantined` instead of failing the campaign.
+    ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides all three
+    knobs and exposes test hooks.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
     if kind not in ("value", "metadata"):
         raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
+    all_layers = platform.layer_names()
+    if layers is not None:
+        unknown = [name for name in layers if name not in set(all_layers)]
+        if unknown:
+            raise ValueError(
+                f"unknown layer(s) {unknown!r} in layers=; "
+                f"instrumented layers: {', '.join(all_layers)}")
+    if exec_config is not None:
+        effective_workers = exec_config.workers
+    else:
+        effective_workers = max(1, int(workers or 1))
+
     tracer = get_tracer()
     registry = get_registry()
     t_campaign = time.perf_counter()
     if resume:
         platform.enable_resume(resume_budget_bytes)
-        logits = platform.capture_golden(images)  # also warms output shapes
-        golden = InferenceOutcome(logits=logits, labels=np.asarray(labels))
-    else:
-        golden = golden_inference(platform, images, labels)
+    try:
+        if resume:
+            logits = platform.capture_golden(images)  # also warms output shapes
+            golden = InferenceOutcome(logits=logits, labels=np.asarray(labels))
+        else:
+            golden = golden_inference(platform, images, labels)
 
-    all_layers = platform.layer_names()
-    layer_index = {name: i for i, name in enumerate(all_layers)}
-    target_layers = layers if layers is not None else all_layers
-    logger.info("campaign start: kind=%s location=%s format=%s layers=%d "
-                "injections/layer=%d resume=%s", kind, location,
-                platform.format_name(), len(target_layers),
-                injections_per_layer, resume)
-    per_layer: dict[str, LayerCampaignResult] = {}
-    with tracer.span("campaign.run", kind=kind, location=location,
-                     format=platform.format_name(), seed=seed,
-                     injections_per_layer=injections_per_layer,
-                     layers=len(target_layers), resume=resume) as run_span:
-        for layer in target_layers:
-            # per-layer child RNG: sites at this layer depend only on
-            # (seed, the layer's position in the full instrumented order)
-            rng = np.random.default_rng(
-                [seed, layer_index.get(layer, len(layer_index))])
-            with tracer.span("campaign.layer", layer=layer, kind=kind) as layer_span:
-                stats = _run_layer(platform, layer, golden, images, kind, location,
-                                   injections_per_layer, rng, num_bits,
-                                   use_resume=resume)
+        layer_index = {name: i for i, name in enumerate(all_layers)}
+        target_layers = list(layers) if layers is not None else all_layers
+        logger.info(
+            "campaign start: kind=%s location=%s format=%s layers=%d "
+            "injections/layer=%d resume=%s workers=%d journal=%s", kind,
+            location, platform.format_name(), len(target_layers),
+            injections_per_layer, resume, effective_workers, journal)
+
+        quarantined: list[dict] = []
+        interrupted = False
+        worker_resume_stats: list[dict] = []
+        with tracer.span("campaign.run", kind=kind, location=location,
+                         format=platform.format_name(), seed=seed,
+                         injections_per_layer=injections_per_layer,
+                         layers=len(target_layers), resume=resume,
+                         workers=effective_workers) as run_span:
+            # ---- stage 1: sample every layer's plans up front ------------
+            sampling: dict[str, LayerPlan] = {}
+            for layer in target_layers:
+                rng = np.random.default_rng(
+                    [seed, layer_index.get(layer, len(layer_index))])
+                sampling[layer] = sample_layer_plans(
+                    platform, layer, kind, location, injections_per_layer,
+                    rng, num_bits)
+
+            # ---- write-ahead journal: load completed work ----------------
+            journal_obj = None
+            records: dict[tuple[str, int], dict] = {}
+            journal_skipped = 0
+            if journal is not None:
+                from ..exec.journal import CampaignJournal, campaign_fingerprint
+                fingerprint = campaign_fingerprint(
+                    kind=kind, location=location,
+                    format_name=platform.format_name(), seed=seed,
+                    injections_per_layer=injections_per_layer,
+                    num_bits=num_bits, layers=target_layers,
+                    images=images, labels=labels)
+                journal_obj, completed = CampaignJournal.open(journal, fingerprint)
+                for (layer, seq), rec in completed.items():
+                    plan_list = sampling.get(layer)
+                    if plan_list is None or seq >= len(plan_list.plans):
+                        continue  # stale entry outside this campaign's plans
+                    if not record_matches_plan(rec, plan_list.plans[seq]):
+                        continue
+                    records[(layer, seq)] = rec
+                journal_skipped = len(records)
+                if journal_skipped:
+                    registry.counter(
+                        "campaign.journal_skipped_total",
+                        help="injections satisfied from the write-ahead "
+                             "journal instead of re-executing").inc(journal_skipped)
+                    logger.info("journal %s: resuming past %d completed "
+                                "injections", journal, journal_skipped)
+
+            # ---- stage 2: execute outstanding plans ----------------------
+            try:
+                if effective_workers >= 2:
+                    from ..exec import ExecConfig
+                    from ..exec.supervisor import run_parallel_campaign
+                    cfg = exec_config if exec_config is not None else ExecConfig(
+                        workers=effective_workers, shard_timeout=shard_timeout,
+                        max_retries=max_retries)
+                    outcome = run_parallel_campaign(
+                        platform, golden, images, target_layers, sampling,
+                        kind, location, resume, cfg, journal_obj, records)
+                    records = outcome.records
+                    quarantined = outcome.quarantined
+                    interrupted = outcome.interrupted
+                    worker_resume_stats = outcome.worker_resume_stats
+                else:
+                    _run_serial(platform, golden, images, target_layers,
+                                sampling, kind, location, resume,
+                                journal_obj, records)
+            finally:
+                if journal_obj is not None:
+                    journal_obj.close()
+
+            # ---- stage 3: aggregate in plan order ------------------------
+            per_layer: dict[str, LayerCampaignResult] = {}
+            for layer in target_layers:
+                layer_records = {seq: rec for (name, seq), rec in records.items()
+                                 if name == layer}
+                stats = aggregate_layer(sampling[layer], layer_records)
                 if stats is not None:
-                    layer_span.set(performed=stats.injections,
-                                   retries=stats.retries,
-                                   mean_delta_loss=stats.mean_delta_loss)
-            if stats is not None:
-                per_layer[layer] = stats
-                logger.debug("layer %s: %d injections in %.3fs "
-                             "(mean ΔLoss %.4f)", layer, stats.injections,
-                             stats.seconds, stats.mean_delta_loss)
+                    per_layer[layer] = stats
+                    logger.debug("layer %s: %d injections in %.3fs "
+                                 "(mean ΔLoss %.4f)", layer, stats.injections,
+                                 stats.seconds, stats.mean_delta_loss)
+
+            resume_stats = None
             if resume and platform.resume_session is not None:
-                # keep the resume gauges live as the campaign progresses
+                resume_stats = platform.resume_session.stats.as_dict()
+                for wstats in worker_resume_stats:
+                    for key in resume_stats:
+                        resume_stats[key] += int(wstats.get(key, 0))
+                if worker_resume_stats:
+                    resume_stats["workers"] = len(worker_resume_stats)
                 platform.resume_session.publish_metrics(registry)
-        resume_stats = None
-        if resume and platform.resume_session is not None:
-            resume_stats = platform.resume_session.stats.as_dict()
-            platform.resume_session.publish_metrics(registry)
-            platform.clear_resume()  # release the cached activations
-        wall = time.perf_counter() - t_campaign
-        injections_total = sum(r.injections for r in per_layer.values())
-        retries_total = sum(r.retries for r in per_layer.values())
-        throughput = injections_total / wall if wall > 0 else 0.0
-        run_span.set(injections=injections_total, wall_s=wall,
-                     injections_per_sec=throughput)
-    registry.gauge("campaign.injections_per_sec",
-                   help="throughput of the most recent campaign").set(throughput)
-    registry.gauge("campaign.wall_seconds").set(wall)
-    logger.info("campaign done: %d injections in %.2fs (%.1f inj/s)",
-                injections_total, wall, throughput)
-    telemetry = {
-        "wall_seconds": wall,
-        "injections": injections_total,
-        "injections_per_sec": throughput,
-        "sampling_retries": retries_total,
-        "per_layer": {
-            name: {"seconds": r.seconds, "injections": r.injections,
-                   "retries": r.retries}
-            for name, r in per_layer.items()
-        },
-    }
-    return CampaignResult(
-        kind=kind,
-        location=location,
-        format_name=platform.format_name(),
-        golden_accuracy=golden.accuracy,
-        per_layer=per_layer,
-        resume_stats=resume_stats,
-        telemetry=telemetry,
-    )
+
+            wall = time.perf_counter() - t_campaign
+            injections_total = sum(r.injections for r in per_layer.values())
+            retries_total = sum(r.retries for r in per_layer.values())
+            throughput = injections_total / wall if wall > 0 else 0.0
+            run_span.set(injections=injections_total, wall_s=wall,
+                         injections_per_sec=throughput,
+                         workers=effective_workers,
+                         journal_skipped=journal_skipped,
+                         quarantined=len(quarantined),
+                         interrupted=interrupted)
+        registry.gauge("campaign.injections_per_sec",
+                       help="throughput of the most recent campaign").set(throughput)
+        registry.gauge("campaign.wall_seconds").set(wall)
+        logger.info("campaign done: %d injections in %.2fs (%.1f inj/s)%s%s",
+                    injections_total, wall, throughput,
+                    f" [{len(quarantined)} shard(s) quarantined]" if quarantined else "",
+                    " [interrupted]" if interrupted else "")
+        telemetry = {
+            "wall_seconds": wall,
+            "injections": injections_total,
+            "injections_per_sec": throughput,
+            "sampling_retries": retries_total,
+            "workers": effective_workers,
+            "journal_skipped": journal_skipped,
+            "quarantined_shards": len(quarantined),
+            "per_layer": {
+                name: {"seconds": r.seconds, "injections": r.injections,
+                       "retries": r.retries}
+                for name, r in per_layer.items()
+            },
+        }
+        return CampaignResult(
+            kind=kind,
+            location=location,
+            format_name=platform.format_name(),
+            golden_accuracy=golden.accuracy,
+            per_layer=per_layer,
+            resume_stats=resume_stats,
+            telemetry=telemetry,
+            quarantined=quarantined,
+            interrupted=interrupted,
+            journal_path=str(journal) if journal is not None else None,
+        )
+    finally:
+        # always release the activation cache — an injection raising mid-run
+        # must not leak the full golden-pass cache (satellite of ISSUE 4)
+        if resume:
+            platform.clear_resume()
 
 
-def _run_layer(
+def _run_serial(
     platform: GoldenEye,
-    layer: str,
     golden: InferenceOutcome,
     images: np.ndarray,
+    target_layers: list[str],
+    sampling: dict[str, LayerPlan],
     kind: str,
     location: str,
-    budget: int,
-    rng: np.random.Generator,
-    num_bits: int = 1,
-    use_resume: bool = False,
-) -> LayerCampaignResult | None:
-    engine = platform.injector
+    use_resume: bool,
+    journal_obj,
+    records: dict[tuple[str, int], dict],
+) -> None:
+    """Execute all outstanding plans in-process, journaling each record."""
     tracer = get_tracer()
     registry = get_registry()
-    seen: set[tuple] = set()
-    delta_losses: list[float] = []
-    mismatches = 0.0
-    sdcs = 0.0
-    performed = 0
-    attempts = 0
-    max_attempts = budget * 20
-    t_layer = time.perf_counter()
-    # the unique-site count is invariant across attempts: compute it once,
-    # not inside the sampling loop
-    site_space = _site_space(platform, layer, kind, location)
-    while performed < budget and attempts < max_attempts:
-        attempts += 1
-        try:
-            if kind == "value":
-                plan = engine.sample_value_injection(rng, layer=layer,
-                                                     location=location,
-                                                     num_bits=num_bits)
-                key = (plan.flat_index, plan.bits)
-            else:
-                plan = engine.sample_metadata_injection(rng, layer=layer,
-                                                        location=location,
-                                                        num_bits=num_bits)
-                key = (plan.register, plan.bits)
-        except InjectionError:
-            registry.counter(
-                "campaign.injection_errors_total",
-                help="layers skipped because sampling raised InjectionError",
-                kind=kind, location=location).inc()
-            return None  # site inapplicable (e.g. metadata on a plain FP layer)
-        if key in seen:
-            if len(seen) >= site_space:
-                break  # exhausted every unique site at this layer
+    for layer in target_layers:
+        layer_plan = sampling[layer]
+        if not layer_plan.plans:
             continue
-        seen.add(key)
-        t_inj = time.perf_counter()
-        with engine.armed(plan):
-            if use_resume:
-                faulty = InferenceOutcome(
-                    logits=platform.forward_from(layer, images),
-                    labels=golden.labels,
-                )
-            else:
-                faulty = golden_inference(platform, images, golden.labels)
-        metrics = compare_outcomes(golden, faulty)
-        dur = time.perf_counter() - t_inj
-        delta_losses.append(metrics["delta_loss"])
-        mismatches += metrics["mismatch_rate"]
-        sdcs += metrics["sdc_rate"]
-        performed += 1
-        registry.counter("campaign.injections_total",
-                         help="injected inferences executed",
-                         kind=kind, location=location).inc()
-        registry.histogram("campaign.injection_seconds",
-                           help="wall-clock per injected inference",
-                           layer=layer).observe(dur)
-        if tracer.enabled:
-            site = plan.flat_index if kind == "value" else plan.register
-            tracer.event("campaign.injection", layer=layer, kind=kind,
-                         location=location, site=int(site),
-                         bits=list(plan.bits),
-                         delta_loss=metrics["delta_loss"],
-                         mismatch_rate=metrics["mismatch_rate"],
-                         sdc_rate=metrics["sdc_rate"], dur_s=dur)
-    retries = attempts - performed
-    if retries:
-        registry.counter("campaign.sampling_retries_total",
-                         help="sampling attempts that hit a seen/invalid site",
-                         kind=kind, location=location).inc(retries)
-    if performed == 0:
-        return None
-    return LayerCampaignResult(
-        layer=layer,
-        injections=performed,
-        mean_delta_loss=float(np.mean(delta_losses)),
-        max_delta_loss=float(np.max(delta_losses)),
-        mismatch_rate=mismatches / performed,
-        sdc_rate=sdcs / performed,
-        delta_losses=delta_losses,
-        seconds=time.perf_counter() - t_layer,
-        retries=retries,
-    )
+        with tracer.span("campaign.layer", layer=layer, kind=kind) as layer_span:
+            performed = 0
+            for seq, plan in enumerate(layer_plan.plans):
+                if (layer, seq) in records:
+                    continue  # satisfied by the journal
+                record = execute_injection(platform, golden, images, plan,
+                                           use_resume)
+                record["layer"] = layer
+                record["seq"] = seq
+                records[(layer, seq)] = record
+                performed += 1
+                if journal_obj is not None:
+                    journal_obj.append_record(record)
+                emit_injection_telemetry(record, kind, location)
+            layer_span.set(performed=performed, retries=layer_plan.retries)
+        if use_resume and platform.resume_session is not None:
+            # keep the resume gauges live as the campaign progresses
+            platform.resume_session.publish_metrics(registry)
 
 
 def _site_space(platform: GoldenEye, layer: str, kind: str, location: str) -> int:

@@ -28,11 +28,22 @@ therefore always bit-identical to a full forward under the same plans.
 Weight injections resume from the victim layer too: a corrupted weight (or
 weight-metadata register) only affects the victim layer's own computation
 and its downstream consumers, so the upstream prefix replays unchanged.
+
+Forked workers
+--------------
+The parallel campaign executor (:mod:`repro.exec`) forks worker processes
+*after* the golden pass is recorded, so every worker inherits a
+copy-on-write copy of the cache for free.  A session is **owned** by the
+process that recorded (or adopted) it: a forked worker must call
+:meth:`ResumeSession.adopt` before replaying, which claims the inherited
+cache and zeroes the inherited counters so each worker reports a clean
+per-process delta that the supervisor can aggregate.
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -200,6 +211,8 @@ class ResumeSession:
         self._pos = 0
         self._start = 0
         self._pass_diverged = False
+        #: pid of the process that recorded (or adopted) this session
+        self.owner_pid = os.getpid()
 
     # ------------------------------------------------------------------
     # introspection
@@ -211,6 +224,34 @@ class ResumeSession:
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
+
+    @property
+    def is_owner(self) -> bool:
+        """True when the current process owns this session's cache."""
+        return os.getpid() == self.owner_pid
+
+    def adopt(self, reset_stats: bool = True) -> "ResumeSession":
+        """Claim a fork-inherited session in a worker process.
+
+        The recorded order and the (copy-on-write) activation cache stay
+        valid after a fork, but ownership and counters do not: ``adopt``
+        re-stamps :attr:`owner_pid` and — by default — resets the inherited
+        :class:`CacheStats` so the worker reports a clean per-process delta
+        (the parallel supervisor sums worker deltas into the campaign's
+        ``resume_stats``).  Idempotent within the owning process.
+        """
+        already_owner = self.is_owner
+        self.owner_pid = os.getpid()
+        if reset_stats and not already_owner:
+            self.cache.stats = CacheStats()
+        return self
+
+    def _require_owner(self, action: str) -> None:
+        if not self.is_owner:
+            raise RuntimeError(
+                f"cannot {action} a ResumeSession owned by pid "
+                f"{self.owner_pid} from pid {os.getpid()}; forked workers "
+                "must call adopt() first")
 
     def start_index_for(self, module: Module) -> int | None:
         """First recorded execution position of ``module`` (None if absent)."""
@@ -263,6 +304,7 @@ class ResumeSession:
     @contextlib.contextmanager
     def recording(self):
         """Scope one golden forward pass; wipes any previous recording."""
+        self._require_owner("record into")
         self.order.clear()
         self._first_index.clear()
         self.cache.clear()
@@ -275,6 +317,7 @@ class ResumeSession:
     @contextlib.contextmanager
     def replaying(self, start_index: int):
         """Scope one resumed pass: replay leaf calls before ``start_index``."""
+        self._require_owner("replay from")
         if not self.recorded:
             raise RuntimeError("no golden pass recorded; use recording() first")
         self._mode, self._pos, self._start = "replay", 0, int(start_index)

@@ -1,0 +1,237 @@
+"""Write-ahead JSONL journal for injection campaigns.
+
+The journal is the campaign's durability layer: every completed injection
+record is appended (and flushed) *before* it reaches aggregation, so any
+process death — crash, OOM kill, SIGKILL, Ctrl-C — loses at most the
+injections that were still in flight.  Re-running ``run_campaign`` with the
+same arguments and the same journal path skips every journaled record and
+reproduces the identical aggregate, because aggregation folds records in
+plan (``seq``) order regardless of where they came from.
+
+File format (one JSON object per line)::
+
+    {"type": "header", "version": 1, "fingerprint": {...}, "created": ...}
+    {"type": "injection", "layer": "conv1", "seq": 0, "site": 17,
+     "bits": [3], "delta_loss": 0.25, "mismatch_rate": 0.0,
+     "sdc_rate": 0.0, "dur_s": 0.004}
+    {"type": "quarantine", "shard_id": 4, "layer": "fc",
+     "seqs": [8, 9], "attempts": 3, "reason": "timeout"}
+    ...
+
+Properties:
+
+* **Fingerprinted.**  The header pins the campaign identity (kind, location,
+  format, seed, plan budget, bit count, target layers, and a digest of the
+  evaluation batch).  Opening a journal written by a *different* campaign
+  raises :class:`JournalMismatch` instead of silently mixing results.
+* **Torn-tail tolerant.**  A process killed mid-``write`` leaves a partial
+  final line; loading skips unparseable lines (counting them) rather than
+  failing, so a journal is always resumable after a hard kill.
+* **Append-only / last-wins.**  Resumed runs append to the same file; if a
+  ``(layer, seq)`` pair somehow appears twice (e.g. a retried shard raced a
+  dying worker), the last record wins.
+* **Exact floats.**  Records round-trip through ``repr``-based JSON floats,
+  which is lossless for IEEE-754 doubles — journal-resumed aggregates are
+  bit-identical, not merely close.
+* **Quarantine events are advisory.**  They document abandoned shards for
+  post-mortems; a resumed run re-attempts those seqs (the fault may have
+  been transient).
+
+Durability note: ``flush()`` per record survives *process* death (the data
+lives in the OS page cache); pass ``fsync_every`` to also survive machine
+crashes at a substantial throughput cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["CampaignJournal", "JournalMismatch", "campaign_fingerprint",
+           "load_journal"]
+
+JOURNAL_VERSION = 1
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk was written by a different campaign."""
+
+
+def _data_digest(images, labels) -> str:
+    """Short content digest of the evaluation batch (shape + bytes)."""
+    h = hashlib.sha256()
+    arr = np.ascontiguousarray(np.asarray(images, dtype=np.float32))
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    lab = np.ascontiguousarray(np.asarray(labels))
+    h.update(str(lab.shape).encode())
+    h.update(lab.tobytes())
+    return h.hexdigest()[:16]
+
+
+def campaign_fingerprint(
+    kind: str,
+    location: str,
+    format_name: str,
+    seed: int,
+    injections_per_layer: int,
+    num_bits: int,
+    layers: list[str],
+    images=None,
+    labels=None,
+) -> dict:
+    """The identity of a campaign for journal-compatibility checks."""
+    fp = {
+        "kind": kind,
+        "location": location,
+        "format": format_name,
+        "seed": int(seed),
+        "injections_per_layer": int(injections_per_layer),
+        "num_bits": int(num_bits),
+        "layers": list(layers),
+    }
+    if images is not None and labels is not None:
+        fp["data"] = _data_digest(images, labels)
+    return fp
+
+
+def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict], int]:
+    """Read a journal file, tolerating a torn tail line.
+
+    Returns ``(header, records, corrupt_lines)`` where ``records`` maps
+    ``(layer, seq)`` to the last journaled record for that plan.
+    """
+    header: dict | None = None
+    records: dict[tuple[str, int], dict] = {}
+    corrupt = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                corrupt += 1  # torn write from a mid-append kill
+                continue
+            if not isinstance(entry, dict):
+                corrupt += 1
+                continue
+            etype = entry.get("type")
+            if etype == "header" and header is None:
+                header = entry
+            elif etype == "injection":
+                try:
+                    key = (str(entry["layer"]), int(entry["seq"]))
+                except (KeyError, TypeError, ValueError):
+                    corrupt += 1
+                    continue
+                records[key] = entry
+            # quarantine (and unknown future) entries are advisory: skipped
+    return header, records, corrupt
+
+
+class CampaignJournal:
+    """Append-only write-ahead journal bound to one campaign fingerprint."""
+
+    def __init__(self, path, fingerprint: dict, _fh=None,
+                 fsync_every: bool = False):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.fsync_every = fsync_every
+        self._fh = _fh
+        self.records_written = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path, fingerprint: dict, fsync_every: bool = False
+             ) -> tuple["CampaignJournal", dict[tuple[str, int], dict]]:
+        """Open (creating or resuming) the journal at ``path``.
+
+        Returns the journal plus the records already completed by previous
+        runs.  A fresh file gets a header; an existing file must carry a
+        matching fingerprint (:class:`JournalMismatch` otherwise).
+        """
+        path = Path(path)
+        completed: dict[tuple[str, int], dict] = {}
+        if path.exists() and path.stat().st_size > 0:
+            header, completed, corrupt = load_journal(path)
+            if header is None:
+                if completed:
+                    raise JournalMismatch(
+                        f"journal {path} has injection records but no "
+                        "readable header; refusing to resume from it")
+                # nothing salvageable (e.g. a single torn header line):
+                # start over
+                path.unlink()
+            else:
+                recorded = header.get("fingerprint")
+                if recorded != fingerprint:
+                    raise JournalMismatch(
+                        f"journal {path} was written by a different campaign:\n"
+                        f"  journal:  {recorded}\n"
+                        f"  current:  {fingerprint}\n"
+                        "pass a fresh --journal path (or delete the old file) "
+                        "to start over")
+                if corrupt:
+                    import logging
+                    logging.getLogger("repro.exec").warning(
+                        "journal %s: skipped %d torn/corrupt line(s)",
+                        path, corrupt)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not path.exists() or path.stat().st_size == 0
+        fh = open(path, "a", encoding="utf-8")
+        journal = cls(path, fingerprint, _fh=fh, fsync_every=fsync_every)
+        if fresh:
+            journal._append({"type": "header", "version": JOURNAL_VERSION,
+                             "fingerprint": fingerprint,
+                             "created": time.time()})
+        return journal, completed
+
+    # ------------------------------------------------------------------
+    def _append(self, entry: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()  # survives process death (OS page cache)
+        if self.fsync_every:
+            os.fsync(self._fh.fileno())
+
+    def append_record(self, record: dict) -> None:
+        """Journal one completed injection (write-ahead of aggregation)."""
+        entry = dict(record)
+        entry["type"] = "injection"
+        self._append(entry)
+        self.records_written += 1
+
+    def append_quarantine(self, info: dict) -> None:
+        """Journal an abandoned shard (advisory; resumed runs re-attempt)."""
+        entry = dict(info)
+        entry["type"] = "quarantine"
+        self._append(entry)
+
+    def flush(self, fsync: bool = True) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            if fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self.flush(fsync=True)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

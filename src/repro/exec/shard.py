@@ -1,0 +1,82 @@
+"""The shard protocol: campaigns as reassignable units of work.
+
+A campaign's plans are sampled deterministically up front
+(:func:`repro.core.campaign.sample_layer_plans`), so the executable work is
+fully described by ``(layer, seq)`` pairs into each layer's plan list.  A
+:class:`Shard` is a chunk of those pairs for one layer — small enough that
+a timeout or crash forfeits little work, large enough that dispatch
+overhead stays negligible.
+
+Shards are frozen, picklable and carry *explicit* seq tuples (rather than
+ranges) so that partially completed shards can be reissued covering only
+the outstanding seqs — the supervisor shrinks a shard every time a record
+for it arrives, and a retry after a worker death re-executes only what the
+dead worker had not already streamed back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["Shard", "plan_shards", "default_chunk_size"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of dispatchable campaign work: some seqs of one layer."""
+
+    shard_id: int
+    layer: str
+    seqs: tuple[int, ...]
+
+    def without(self, done: set[int]) -> "Shard":
+        """A copy of this shard covering only the seqs not in ``done``."""
+        return replace(self, seqs=tuple(s for s in self.seqs if s not in done))
+
+    def __len__(self) -> int:
+        return len(self.seqs)
+
+
+def default_chunk_size(total_plans: int, workers: int) -> int:
+    """Heuristic shard size: ~4 shards per worker, at least 1 plan each.
+
+    Over-decomposing (several shards per worker) keeps the pool busy when
+    layers finish unevenly and bounds the work forfeited by one timeout,
+    while capping supervisor traffic at a few dozen dispatches.
+    """
+    if total_plans <= 0:
+        return 1
+    return max(1, math.ceil(total_plans / max(1, workers * 4)))
+
+
+def plan_shards(
+    layer_plans: dict,
+    completed: set[tuple[str, int]] | None = None,
+    chunk_size: int | None = None,
+    workers: int = 2,
+    layer_order: list[str] | None = None,
+) -> list[Shard]:
+    """Split the outstanding work of ``layer_plans`` into shards.
+
+    ``layer_plans`` maps layer name to
+    :class:`~repro.core.campaign.LayerPlan`; ``completed`` holds the
+    ``(layer, seq)`` pairs already satisfied (e.g. from a write-ahead
+    journal) and is excluded.  Shards are emitted in deterministic
+    ``(layer_order, seq)`` order with contiguous ids — the supervisor may
+    then execute them in any order without affecting the aggregate.
+    """
+    completed = completed or set()
+    order = layer_order if layer_order is not None else list(layer_plans)
+    total = sum(len(layer_plans[name].plans) for name in order)
+    size = chunk_size if chunk_size is not None else \
+        default_chunk_size(total, workers)
+    shards: list[Shard] = []
+    for name in order:
+        plan = layer_plans[name]
+        pending = [seq for seq in range(len(plan.plans))
+                   if (name, seq) not in completed]
+        for i in range(0, len(pending), size):
+            shards.append(Shard(shard_id=len(shards), layer=name,
+                                seqs=tuple(pending[i:i + size])))
+    return shards

@@ -1,0 +1,610 @@
+"""The campaign supervisor: a fault-tolerant parallel shard executor.
+
+The supervisor owns the robustness guarantees of ``run_campaign(...,
+workers=N)``:
+
+* **Sharded parallelism** — the deterministically pre-sampled plans are
+  split into per-layer chunks (:mod:`repro.exec.shard`) and executed on a
+  pool of forked workers; because aggregation folds records in plan order,
+  the parallel aggregate is bit-identical to the serial one.
+* **Write-ahead journaling** — every record streamed back by a worker is
+  appended (and flushed) to the journal *before* it can reach aggregation,
+  so no completed injection is ever lost to a crash.
+* **Timeout → retry → quarantine** — a shard attempt that exceeds
+  ``shard_timeout`` gets its worker killed (and replaced); the shard is
+  retried with exponential backoff up to ``max_retries`` times and then
+  **quarantined**: recorded in the result, the campaign degrades
+  gracefully instead of hanging or dying.
+* **Worker supervision** — shards are *assigned* supervisor-side to
+  specific workers over per-worker task queues, so the worker→shard
+  association never depends on a message from a worker that may already
+  be dead (a worker killed by ``os._exit``/OOM can lose its outbound
+  queue-feeder thread along with any un-flushed messages).  A dead worker
+  is detected via its exit code; its orphaned shard is shrunk to the seqs
+  it had not yet streamed back and reassigned to the surviving pool, and
+  a replacement worker is spawned to keep the pool at strength.
+* **Signal-safe shutdown** — SIGINT/SIGTERM set a stop flag; the
+  supervisor flushes + fsyncs the journal, terminates the pool and
+  returns a partial result marked ``interrupted`` that a later run can
+  resume from.
+
+All telemetry is parent-side (worker registries are lost with the fork):
+``exec.shards_total``, ``exec.shard_retries_total``,
+``exec.shard_timeouts_total``, ``exec.shards_quarantined_total``,
+``exec.worker_deaths_total``, ``exec.heartbeats_total``, the
+``exec.workers`` gauge and the ``exec.shard_seconds`` histogram, plus one
+``exec.shard`` trace event per settled shard and one ``exec.quarantine``
+event per abandoned one.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import queue as _queue
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs.telemetry import get_registry
+from ..obs.tracing import get_tracer
+from .shard import Shard, plan_shards
+from .worker import WorkerPayload, worker_main
+
+__all__ = ["ExecConfig", "ParallelOutcome", "CampaignSupervisor",
+           "run_parallel_campaign"]
+
+logger = logging.getLogger("repro.exec")
+
+
+@dataclass
+class ExecConfig:
+    """Tuning knobs (and test hooks) for the parallel executor."""
+
+    #: worker-pool size; values < 2 fall back to the serial path
+    workers: int = 2
+    #: wall-clock budget for one shard attempt (None = unbounded)
+    shard_timeout: float | None = None
+    #: re-dispatches allowed after a shard's first failed attempt
+    max_retries: int = 2
+    #: exponential-backoff base delay between retries (seconds)
+    backoff_base: float = 0.25
+    #: backoff ceiling (seconds)
+    backoff_cap: float = 4.0
+    #: plans per shard (None = ~4 shards per worker, see shard.py)
+    chunk_size: int | None = None
+    #: result-queue poll granularity (also bounds signal-response latency)
+    poll_interval: float = 0.05
+    #: grace period for workers to drain the sentinel at clean shutdown
+    shutdown_grace: float = 10.0
+    #: install SIGINT/SIGTERM handlers for the duration of the run
+    #: (skipped automatically off the main thread)
+    install_signal_handlers: bool = True
+    #: test hook, runs **in the worker** before each shard attempt:
+    #: ``worker_fault(worker_id, shard, attempt)`` — hang/crash/raise here
+    #: to exercise timeouts, retries, quarantine and death supervision
+    worker_fault: Callable | None = None
+    #: test hook, runs **in the parent** after each accepted record:
+    #: ``on_record(total_records)`` — e.g. deliver a signal mid-campaign
+    on_record: Callable | None = None
+
+
+@dataclass
+class ParallelOutcome:
+    """What the supervisor hands back to ``run_campaign``."""
+
+    records: dict  # (layer, seq) -> record
+    quarantined: list[dict] = field(default_factory=list)
+    interrupted: bool = False
+    worker_resume_stats: list[dict] = field(default_factory=list)
+    shards_total: int = 0
+    shard_retries: int = 0
+    worker_deaths: int = 0
+
+
+@dataclass
+class _ShardState:
+    shard: Shard
+    pending: set[int]
+    attempts: int = 0
+    status: str = "queued"  # queued | inflight | deferred | done | quarantined
+    last_error: str = ""
+
+
+class CampaignSupervisor:
+    """Drives one parallel campaign over a pool of forked workers."""
+
+    def __init__(self, payload: WorkerPayload, shards: list[Shard],
+                 config: ExecConfig, journal=None,
+                 kind: str = "value", location: str = "neuron"):
+        self.payload = payload
+        self.config = config
+        self.journal = journal
+        self.kind = kind
+        self.location = location
+        self.records: dict[tuple[str, int], dict] = {}
+        self.quarantined: list[dict] = []
+        self.worker_resume_stats: list[dict] = []
+        self.shard_retries = 0
+        self.worker_deaths = 0
+        self._states = {s.shard_id: _ShardState(shard=s, pending=set(s.seqs))
+                        for s in shards}
+        #: shard_id -> (worker_id, deadline | None, attempt)
+        self._inflight: dict[int, tuple[int, float | None, int]] = {}
+        #: shard ids awaiting an idle worker (FIFO, deterministic)
+        self._backlog: list[int] = []
+        #: retry-delayed shards: (due_monotonic, shard_id)
+        self._deferred: list[tuple[float, int]] = []
+        self._workers: dict[int, multiprocessing.Process] = {}
+        #: per-worker task queues: assignment is supervisor-side so the
+        #: worker -> shard mapping survives a worker that dies silently
+        self._task_queues: dict[int, object] = {}
+        self._worker_shard: dict[int, int | None] = {}
+        self._idle: set[int] = set()
+        self._last_seen: dict[int, float] = {}
+        self._shard_started: dict[int, float] = {}
+        self._clean_exits: set[int] = set()
+        self._next_worker_id = 0
+        self._stop = False
+        self._stop_reason = ""
+        self._ctx = multiprocessing.get_context("fork")
+        self._result_queue = self._ctx.Queue()
+        self._registry = get_registry()
+        self._tracer = get_tracer()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> ParallelOutcome:
+        registry = self._registry
+        total_shards = len(self._states)
+        registry.counter("exec.shards_total",
+                         help="shards planned for parallel campaigns"
+                         ).inc(total_shards)
+        if total_shards == 0:
+            return self._outcome()
+        pool_size = min(self.config.workers, total_shards)
+        previous_handlers = self._install_signal_handlers()
+        try:
+            for _ in range(pool_size):
+                self._spawn_worker()
+            for shard_id in sorted(self._states):
+                self._dispatch(self._states[shard_id])
+            self._supervise()
+            self._shutdown()
+        finally:
+            self._restore_signal_handlers(previous_handlers)
+            self._reap()
+            registry.gauge("exec.workers",
+                           help="live campaign workers").set(0)
+        return self._outcome()
+
+    def _outcome(self) -> ParallelOutcome:
+        return ParallelOutcome(
+            records=self.records,
+            quarantined=self.quarantined,
+            interrupted=self._stop,
+            worker_resume_stats=self.worker_resume_stats,
+            shards_total=len(self._states),
+            shard_retries=self.shard_retries,
+            worker_deaths=self.worker_deaths,
+        )
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def _install_signal_handlers(self):
+        if not self.config.install_signal_handlers:
+            return None
+        if threading.current_thread() is not threading.main_thread():
+            return None  # signal API is main-thread only
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, self._handle_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                pass
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        if not previous:
+            return
+        for sig, handler in previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _handle_signal(self, signum, frame) -> None:
+        self.request_stop(f"signal {signal.Signals(signum).name}")
+
+    def request_stop(self, reason: str) -> None:
+        """Stop the campaign at the next loop turn (signal-handler safe)."""
+        self._stop = True
+        self._stop_reason = reason
+
+    # ------------------------------------------------------------------
+    # the supervision loop
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop and self._unsettled():
+            now = time.monotonic()
+            self._promote_deferred(now)
+            try:
+                message = self._result_queue.get(
+                    timeout=self.config.poll_interval)
+            except _queue.Empty:
+                message = None
+            if message is not None:
+                self._handle_message(message)
+            now = time.monotonic()
+            self._check_timeouts(now)
+            self._check_worker_deaths()
+            self._pump()
+        if self._stop:
+            logger.warning("campaign executor stopping early: %s "
+                           "(journal flushed; result is partial but "
+                           "resumable)", self._stop_reason)
+
+    def _unsettled(self) -> bool:
+        return any(s.status not in ("done", "quarantined")
+                   for s in self._states.values())
+
+    def _handle_message(self, message) -> None:
+        mtype, worker_id, body, _ts = message
+        self._last_seen[worker_id] = time.monotonic()
+        self._registry.counter(
+            "exec.heartbeats_total",
+            help="worker liveness messages observed by the supervisor").inc()
+        if mtype == "record":
+            shard_id, _attempt, record = body
+            self._accept_record(shard_id, record)
+        elif mtype == "start":
+            shard_id, attempt = body
+            entry = self._inflight.get(shard_id)
+            if entry is not None and entry[0] == worker_id \
+                    and entry[2] == attempt:
+                # re-arm the deadline now that queue wait is over
+                self._shard_started[shard_id] = time.monotonic()
+                if self.config.shard_timeout is not None:
+                    deadline = time.monotonic() + self.config.shard_timeout
+                    self._inflight[shard_id] = (worker_id, deadline, attempt)
+        elif mtype == "done":
+            shard_id, attempt = body
+            self._finish_shard(shard_id, attempt, worker_id)
+        elif mtype == "error":
+            shard_id, attempt, error = body
+            self._release_worker(worker_id, shard_id)
+            entry = self._inflight.get(shard_id)
+            if entry is not None and entry[2] == attempt:
+                self._inflight.pop(shard_id, None)
+                self._fail_shard(shard_id, f"worker error: {error}")
+        elif mtype == "exit":
+            self._clean_exits.add(worker_id)
+            if body:
+                self.worker_resume_stats.append(dict(body))
+        # "ready" needs no handling beyond the heartbeat
+
+    def _accept_record(self, shard_id: int, record: dict) -> None:
+        from ..core.campaign import emit_injection_telemetry
+        key = (record["layer"], record["seq"])
+        if key not in self.records:
+            self.records[key] = record
+            if self.journal is not None:
+                self.journal.append_record(record)
+            emit_injection_telemetry(record, self.kind, self.location)
+        state = self._states.get(shard_id)
+        if state is not None:
+            state.pending.discard(record["seq"])
+            if not state.pending and state.status == "deferred":
+                # a straggler record from a killed attempt completed the
+                # shard before its retry fired: cancel the retry
+                self._settle(state, via="straggler")
+        if self.config.on_record is not None:
+            self.config.on_record(len(self.records))
+
+    def _finish_shard(self, shard_id: int, attempt: int, worker_id: int) -> None:
+        self._release_worker(worker_id, shard_id)
+        state = self._states.get(shard_id)
+        if state is None or state.status in ("done", "quarantined"):
+            return
+        entry = self._inflight.get(shard_id)
+        current = entry is not None and entry[2] == attempt
+        if current:
+            self._inflight.pop(shard_id, None)
+        elif state.pending:
+            return  # stale completion that did not actually cover the work
+        if state.pending:
+            # records were lost in flight (should not happen with an intact
+            # queue); re-dispatch the remainder without burning a retry
+            logger.warning("shard %d finished with %d seq(s) unaccounted; "
+                           "re-dispatching", shard_id, len(state.pending))
+            self._dispatch(state, count_attempt=False)
+            return
+        self._settle(state, via="done")
+
+    def _settle(self, state: _ShardState, via: str) -> None:
+        state.status = "done"
+        self._inflight.pop(state.shard.shard_id, None)
+        self._deferred = [(due, sid) for due, sid in self._deferred
+                          if sid != state.shard.shard_id]
+        started = self._shard_started.get(state.shard.shard_id)
+        dur = (time.monotonic() - started) if started is not None else 0.0
+        self._registry.histogram(
+            "exec.shard_seconds",
+            help="wall-clock per completed shard attempt").observe(dur)
+        if self._tracer.enabled:
+            self._tracer.event("exec.shard", shard_id=state.shard.shard_id,
+                               layer=state.shard.layer,
+                               seqs=len(state.shard.seqs),
+                               attempts=state.attempts, via=via, dur_s=dur)
+
+    # ------------------------------------------------------------------
+    # dispatch / assignment / retry / quarantine
+    # ------------------------------------------------------------------
+    def _dispatch(self, state: _ShardState, count_attempt: bool = True) -> None:
+        """Queue a shard (or its remainder) for assignment to a worker."""
+        if count_attempt:
+            state.attempts += 1
+        state.status = "queued"
+        if state.shard.shard_id not in self._backlog:
+            self._backlog.append(state.shard.shard_id)
+
+    def _pump(self) -> None:
+        """Assign backlogged shards to idle workers (lowest id first)."""
+        while self._backlog and self._idle:
+            shard_id = self._backlog.pop(0)
+            state = self._states[shard_id]
+            if state.status != "queued":
+                continue
+            worker_id = min(self._idle)
+            self._assign(state, worker_id)
+
+    def _assign(self, state: _ShardState, worker_id: int) -> None:
+        shard_id = state.shard.shard_id
+        remaining = state.shard.without(set(state.shard.seqs) - state.pending)
+        state.status = "inflight"
+        self._idle.discard(worker_id)
+        self._worker_shard[worker_id] = shard_id
+        # the deadline is armed immediately: it is re-armed (excluding queue
+        # wait) when the worker reports "start", but must exist even if the
+        # worker never manages to send that message
+        deadline = (time.monotonic() + self.config.shard_timeout
+                    if self.config.shard_timeout is not None else None)
+        self._inflight[shard_id] = (worker_id, deadline, state.attempts)
+        self._shard_started.setdefault(shard_id, time.monotonic())
+        self._task_queues[worker_id].put((remaining, state.attempts))
+
+    def _release_worker(self, worker_id: int, shard_id: int | None) -> None:
+        """Mark a live worker idle again after it reported done/error."""
+        if worker_id not in self._workers:
+            return  # already killed / reaped
+        if shard_id is None or self._worker_shard.get(worker_id) == shard_id:
+            self._worker_shard[worker_id] = None
+            self._idle.add(worker_id)
+
+    def _promote_deferred(self, now: float) -> None:
+        due = [sid for when, sid in self._deferred if when <= now]
+        if not due:
+            return
+        self._deferred = [(when, sid) for when, sid in self._deferred
+                          if when > now]
+        for sid in due:
+            state = self._states[sid]
+            if state.status == "deferred":
+                self._dispatch(state)
+
+    def _fail_shard(self, shard_id: int, reason: str) -> None:
+        state = self._states.get(shard_id)
+        if state is None or state.status in ("done", "quarantined"):
+            return
+        state.last_error = reason
+        if not state.pending:
+            self._settle(state, via="failed-but-complete")
+            return
+        if state.attempts > self.config.max_retries:
+            self._quarantine(state, reason)
+            return
+        delay = min(self.config.backoff_cap,
+                    self.config.backoff_base * (2 ** (state.attempts - 1)))
+        state.status = "deferred"
+        self._deferred.append((time.monotonic() + delay, shard_id))
+        self.shard_retries += 1
+        self._registry.counter(
+            "exec.shard_retries_total",
+            help="shard re-dispatches after a failed attempt").inc()
+        logger.warning("shard %d (%s, %d seq(s) left) failed: %s — retry "
+                       "%d/%d in %.2fs", shard_id, state.shard.layer,
+                       len(state.pending), reason, state.attempts,
+                       self.config.max_retries, delay)
+
+    def _quarantine(self, state: _ShardState, reason: str) -> None:
+        state.status = "quarantined"
+        self._inflight.pop(state.shard.shard_id, None)
+        info = {
+            "shard_id": state.shard.shard_id,
+            "layer": state.shard.layer,
+            "seqs": sorted(state.pending),
+            "attempts": state.attempts,
+            "reason": reason,
+        }
+        self.quarantined.append(info)
+        if self.journal is not None:
+            self.journal.append_quarantine(info)
+        self._registry.counter(
+            "exec.shards_quarantined_total",
+            help="shards abandoned after exhausting their retry budget").inc()
+        if self._tracer.enabled:
+            self._tracer.event("exec.quarantine", **info)
+        logger.error("shard %d (%s) quarantined after %d attempts: %s — "
+                     "campaign continues without its %d injection(s)",
+                     state.shard.shard_id, state.shard.layer, state.attempts,
+                     reason, len(state.pending))
+
+    # ------------------------------------------------------------------
+    # worker pool management
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.payload, task_queue, self._result_queue),
+            daemon=True, name=f"repro-exec-worker-{worker_id}")
+        process.start()
+        self._workers[worker_id] = process
+        self._task_queues[worker_id] = task_queue
+        self._worker_shard[worker_id] = None
+        self._idle.add(worker_id)
+        self._last_seen[worker_id] = time.monotonic()
+        self._registry.gauge("exec.workers",
+                             help="live campaign workers"
+                             ).set(float(len(self._workers)))
+        return worker_id
+
+    def _kill_worker(self, worker_id: int) -> None:
+        process = self._workers.pop(worker_id, None)
+        self._worker_shard.pop(worker_id, None)
+        self._idle.discard(worker_id)
+        task_queue = self._task_queues.pop(worker_id, None)
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(timeout=2.0)
+        if task_queue is not None:
+            try:
+                task_queue.close()
+                task_queue.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        self._registry.gauge("exec.workers").set(float(len(self._workers)))
+
+    def _check_timeouts(self, now: float) -> None:
+        if self.config.shard_timeout is None:
+            return
+        for shard_id, (worker_id, deadline, _attempt) in \
+                list(self._inflight.items()):
+            if deadline is None or now <= deadline:
+                continue
+            self._inflight.pop(shard_id, None)
+            self._registry.counter(
+                "exec.shard_timeouts_total",
+                help="shard attempts killed for exceeding the timeout").inc()
+            logger.warning("shard %d exceeded its %.2fs timeout; killing "
+                           "worker %d", shard_id, self.config.shard_timeout,
+                           worker_id)
+            self._kill_worker(worker_id)
+            if self._unsettled() and not self._stop:
+                self._spawn_worker()
+            self._fail_shard(shard_id, "timeout")
+
+    def _check_worker_deaths(self) -> None:
+        for worker_id, process in list(self._workers.items()):
+            if process.is_alive() or worker_id in self._clean_exits:
+                continue
+            exitcode = process.exitcode
+            shard_id = self._worker_shard.get(worker_id)
+            self._kill_worker(worker_id)
+            self.worker_deaths += 1
+            self._registry.counter(
+                "exec.worker_deaths_total",
+                help="workers that died without a clean exit").inc()
+            logger.warning("worker %d died (exit code %s)%s", worker_id,
+                           exitcode,
+                           f" while running shard {shard_id}"
+                           if shard_id is not None else "")
+            if shard_id is not None and shard_id in self._inflight:
+                self._inflight.pop(shard_id, None)
+                self._fail_shard(shard_id,
+                                 f"worker died (exit code {exitcode})")
+            if self._unsettled() and not self._stop:
+                self._spawn_worker()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def _shutdown(self) -> None:
+        if self.journal is not None:
+            self.journal.flush(fsync=True)
+        if self._stop:
+            # interrupted: the journal holds everything completed; workers
+            # may be mid-injection — terminate, do not wait
+            for worker_id in list(self._workers):
+                self._kill_worker(worker_id)
+            return
+        live = [wid for wid, proc in self._workers.items()
+                if proc.is_alive() and wid not in self._clean_exits]
+        for worker_id in live:
+            self._task_queues[worker_id].put(None)
+        deadline = time.monotonic() + self.config.shutdown_grace
+        pending = set(live)
+        while pending and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except _queue.Empty:
+                pending = {wid for wid in pending
+                           if self._workers.get(wid) is not None
+                           and self._workers[wid].is_alive()}
+                continue
+            self._handle_message(message)
+            pending -= self._clean_exits
+        for worker_id in list(self._workers):
+            self._kill_worker(worker_id)
+
+    def _reap(self) -> None:
+        for worker_id in list(self._workers):
+            self._kill_worker(worker_id)
+        try:
+            self._result_queue.close()
+            self._result_queue.join_thread()
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+
+
+def run_parallel_campaign(
+    platform,
+    golden,
+    images,
+    target_layers: list[str],
+    sampling: dict,
+    kind: str,
+    location: str,
+    use_resume: bool,
+    config: ExecConfig,
+    journal=None,
+    completed_records: dict | None = None,
+) -> ParallelOutcome:
+    """Execute a campaign's outstanding plans on a supervised worker pool.
+
+    ``completed_records`` (e.g. loaded from a write-ahead journal) are
+    treated as done: their seqs are never dispatched and they appear in the
+    returned record set unchanged.  Falls back to the serial executor —
+    with identical results — on platforms without the ``fork`` start
+    method.
+    """
+    completed_records = dict(completed_records or {})
+    if "fork" not in multiprocessing.get_all_start_methods():
+        logger.warning("multiprocessing 'fork' start method unavailable; "
+                       "running the campaign serially")
+        from ..core.campaign import _run_serial
+        _run_serial(platform, golden, images, target_layers, sampling,
+                    kind, location, use_resume, journal, completed_records)
+        return ParallelOutcome(records=completed_records)
+    shards = plan_shards(sampling, completed=set(completed_records),
+                         chunk_size=config.chunk_size, workers=config.workers,
+                         layer_order=target_layers)
+    payload = WorkerPayload(platform=platform, golden=golden, images=images,
+                            plans={name: lp.plans
+                                   for name, lp in sampling.items()},
+                            use_resume=use_resume,
+                            fault=config.worker_fault)
+    supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
+                                    kind=kind, location=location)
+    supervisor.records = completed_records
+    outcome = supervisor.run()
+    return outcome

@@ -1,0 +1,105 @@
+"""The campaign worker process: executes shards, streams records back.
+
+Workers are created with the ``fork`` start method *after* the parent has
+attached the platform, captured the golden pass and sampled every plan —
+so each worker inherits a private copy-on-write copy of the whole
+campaign state (model, hooks, activation cache, plan lists) and nothing
+heavyweight ever crosses a pipe.  The only traffic is the task queue
+(shards in) and the result queue (small tuples out).
+
+Protocol (messages on the result queue, all ``(type, worker_id, payload,
+timestamp)`` tuples):
+
+* ``("ready", wid, pid, t)`` — worker is up and adopted the resume cache;
+* ``("start", wid, (shard_id, attempt), t)`` — shard attempt began;
+* ``("record", wid, (shard_id, attempt, record), t)`` — one injection
+  finished.  Streaming records one at a time (instead of batching per
+  shard) is what makes the write-ahead journal capture partial shard
+  progress **and** doubles as a liveness heartbeat;
+* ``("done", wid, (shard_id, attempt), t)`` — shard attempt finished;
+* ``("error", wid, (shard_id, attempt, message), t)`` — shard attempt
+  raised; the worker survives and awaits its next task;
+* ``("exit", wid, resume_stats | None, t)`` — worker drained the sentinel
+  and is shutting down cleanly (carries its activation-cache counters).
+
+Every message updates the worker's heartbeat in the supervisor; a worker
+that stops producing messages mid-shard is caught by the shard timeout,
+and one that dies outright is caught by ``Process.is_alive()``.
+
+SIGINT is ignored in workers: a Ctrl-C in the foreground is delivered to
+the whole process group, and shutdown must be coordinated by the
+supervisor (flush the journal first), not by workers dying mid-record.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["WorkerPayload", "worker_main"]
+
+
+@dataclass
+class WorkerPayload:
+    """Everything a forked worker needs (inherited, never pickled)."""
+
+    platform: object
+    golden: object
+    images: object
+    plans: dict  # layer -> list of injection plans, indexed by seq
+    use_resume: bool
+    #: test hook: called as ``fault(worker_id, shard, attempt)`` before a
+    #: shard attempt executes — tests use it to hang, crash (``os._exit``)
+    #: or raise on chosen shards to exercise the supervision machinery
+    fault: Callable | None = None
+
+
+def worker_main(worker_id: int, payload: WorkerPayload,
+                task_queue, result_queue) -> None:
+    """The worker loop: pull shards until the ``None`` sentinel arrives."""
+    # shutdown is the supervisor's job; a foreground Ctrl-C must not kill
+    # workers mid-record (the supervisor terminates us after the journal
+    # is flushed)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    from ..core.campaign import execute_injection
+
+    session = getattr(payload.platform, "resume_session", None)
+    if session is not None:
+        # claim the forked copy of the activation cache: per-worker stats
+        # start at zero so the supervisor can aggregate true worker deltas
+        session.adopt()
+
+    result_queue.put(("ready", worker_id, None, time.time()))
+    while True:
+        task = task_queue.get()
+        if task is None:
+            stats = session.stats.as_dict() if session is not None else None
+            result_queue.put(("exit", worker_id, stats, time.time()))
+            return
+        shard, attempt = task
+        result_queue.put(("start", worker_id, (shard.shard_id, attempt),
+                          time.time()))
+        try:
+            if payload.fault is not None:
+                payload.fault(worker_id, shard, attempt)
+            plans = payload.plans[shard.layer]
+            for seq in shard.seqs:
+                record = execute_injection(payload.platform, payload.golden,
+                                           payload.images, plans[seq],
+                                           payload.use_resume)
+                record["layer"] = shard.layer
+                record["seq"] = seq
+                result_queue.put(("record", worker_id,
+                                  (shard.shard_id, attempt, record),
+                                  time.time()))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            result_queue.put(("error", worker_id,
+                              (shard.shard_id, attempt,
+                               f"{type(exc).__name__}: {exc}"),
+                              time.time()))
+            continue
+        result_queue.put(("done", worker_id, (shard.shard_id, attempt),
+                          time.time()))

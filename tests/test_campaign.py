@@ -249,3 +249,77 @@ class TestSiteSpace:
         from repro.core.campaign import _site_space
         with GoldenEye(model, "fp16") as ge:
             assert _site_space(ge, "fc", "value", "neuron") == 0
+
+
+class TestCampaignRobustness:
+    """Regression tests for the executor-hardening satellites (ISSUE 4)."""
+
+    def test_unknown_layers_rejected_upfront(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            with pytest.raises(ValueError, match=r"unknown layer\(s\).*'nope'"):
+                run_campaign(ge, *data, layers=["conv1", "nope"],
+                             injections_per_layer=2)
+            # nothing ran: the platform is untouched and still usable
+            result = run_campaign(ge, *data, layers=["conv1"],
+                                  injections_per_layer=2)
+            assert set(result.per_layer) == {"conv1"}
+
+    def test_resume_cache_released_when_injection_raises(self, model, data,
+                                                         monkeypatch):
+        """platform.clear_resume() must run even when execution blows up."""
+        import repro.core.campaign as campaign_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injection exploded")
+
+        monkeypatch.setattr(campaign_mod, "execute_injection", boom)
+        with GoldenEye(model, "fp16") as ge:
+            with pytest.raises(RuntimeError, match="injection exploded"):
+                run_campaign(ge, *data, injections_per_layer=2, seed=0)
+            assert ge.resume_session is None  # cache released, not leaked
+
+    def test_late_injection_error_keeps_partial_layer(self, model, data,
+                                                      monkeypatch):
+        """An InjectionError mid-sampling must not discard the plans already
+        drawn: the layer aggregates a partial result (satellite regression
+        for the old behaviour of discarding the whole layer)."""
+        from repro.core.injection import InjectionError
+
+        with GoldenEye(model, "fp16") as ge:
+            engine = ge.injector
+            original = engine.sample_value_injection
+            calls = {"fc": 0}
+
+            def flaky(rng, layer, **kwargs):
+                if layer == "fc":
+                    calls["fc"] += 1
+                    if calls["fc"] > 2:
+                        raise InjectionError("site space collapsed")
+                return original(rng, layer=layer, **kwargs)
+
+            monkeypatch.setattr(engine, "sample_value_injection", flaky)
+            result = run_campaign(ge, *data, injections_per_layer=5, seed=0)
+        # the two successful draws at fc were executed and aggregated
+        assert "fc" in result.per_layer
+        assert result.per_layer["fc"].injections == 2
+        assert len(result.per_layer["fc"].delta_losses) == 2
+        # the healthy layers are untouched by fc's sampling failure
+        assert result.per_layer["conv1"].injections == 5
+        assert result.per_layer["conv2"].injections == 5
+
+    def test_sampling_error_recorded_on_plan(self, model, data, monkeypatch):
+        from repro.core.campaign import sample_layer_plans
+        from repro.core.injection import InjectionError
+
+        with GoldenEye(model, "fp16") as ge:
+            run_campaign(ge, *data, injections_per_layer=1, seed=0)  # warm shapes
+            engine = ge.injector
+
+            def always_fails(rng, **kwargs):
+                raise InjectionError("nope")
+
+            monkeypatch.setattr(engine, "sample_value_injection", always_fails)
+            plan = sample_layer_plans(ge, "fc", "value", "neuron", 4,
+                                      np.random.default_rng(0))
+        assert plan.plans == []
+        assert plan.sampling_error == "nope"

@@ -1,0 +1,352 @@
+"""Tests for the crash-safe parallel campaign executor (repro.exec).
+
+Covers the four robustness guarantees of ``run_campaign(..., workers=N)``:
+
+* parallel shard execution is **bit-identical** to serial execution;
+* the write-ahead journal makes an interrupted campaign **resumable** with
+  an aggregate identical to an uninterrupted run;
+* a shard that keeps timing out is retried and then **quarantined** while
+  the rest of the campaign completes;
+* a worker that dies mid-shard is detected and its outstanding work is
+  **reassigned** without losing streamed-back records.
+
+The multiprocessing scenarios use the ``fork`` start method (skipped where
+unavailable) and the supervisor's test hooks: ``worker_fault`` runs inside
+workers (crash / hang on selected shards) and ``on_record`` runs in the
+parent (deliver a real SIGINT mid-campaign).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GoldenEye, run_campaign
+from repro.exec import (
+    CampaignJournal,
+    ExecConfig,
+    JournalMismatch,
+    Shard,
+    campaign_fingerprint,
+    plan_shards,
+)
+from repro.exec.journal import load_journal
+from repro.models import simple_mlp
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method")
+
+
+@pytest.fixture
+def model():
+    m = simple_mlp(num_classes=4)
+    m.eval()
+    return m
+
+
+@pytest.fixture
+def data(rng):
+    return (rng.standard_normal((6, 3, 32, 32)).astype(np.float32),
+            rng.integers(0, 4, size=6))
+
+
+def layer_stats(result):
+    """The full per-layer statistical surface, for bit-identity checks."""
+    return {
+        name: (r.injections, r.delta_losses, r.mean_delta_loss,
+               r.max_delta_loss, r.mismatch_rate, r.sdc_rate)
+        for name, r in result.per_layer.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+class FakeLayerPlan:
+    def __init__(self, n):
+        self.plans = list(range(n))
+
+
+class TestShards:
+    def test_without_drops_done_seqs(self):
+        shard = Shard(shard_id=0, layer="fc1", seqs=(0, 1, 2, 3))
+        assert shard.without({1, 3}).seqs == (0, 2)
+        assert len(shard.without(set())) == 4
+
+    def test_plan_shards_cover_all_seqs_exactly_once(self):
+        plans = {"a": FakeLayerPlan(7), "b": FakeLayerPlan(3)}
+        shards = plan_shards(plans, chunk_size=2)
+        seen = [(s.layer, q) for s in shards for q in s.seqs]
+        expected = [("a", i) for i in range(7)] + [("b", i) for i in range(3)]
+        assert sorted(seen) == sorted(expected)
+        assert len(seen) == len(set(seen))
+        assert [s.shard_id for s in shards] == list(range(len(shards)))
+
+    def test_plan_shards_never_mix_layers(self):
+        plans = {"a": FakeLayerPlan(5), "b": FakeLayerPlan(5)}
+        for shard in plan_shards(plans, chunk_size=3):
+            assert len({shard.layer}) == 1
+
+    def test_completed_seqs_are_excluded(self):
+        plans = {"a": FakeLayerPlan(4)}
+        shards = plan_shards(plans, completed={("a", 0), ("a", 2)},
+                             chunk_size=10)
+        assert [s.seqs for s in shards] == [(1, 3)]
+
+    def test_empty_plans_yield_no_shards(self):
+        assert plan_shards({"a": FakeLayerPlan(0)}) == []
+
+    def test_deterministic_layer_order(self):
+        plans = {"b": FakeLayerPlan(2), "a": FakeLayerPlan(2)}
+        shards = plan_shards(plans, chunk_size=1, layer_order=["a", "b"])
+        assert [s.layer for s in shards] == ["a", "a", "b", "b"]
+
+
+# ----------------------------------------------------------------------
+# the write-ahead journal
+# ----------------------------------------------------------------------
+class TestJournal:
+    FP = {"kind": "value", "seed": 0}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal, completed = CampaignJournal.open(path, self.FP)
+        assert completed == {}
+        journal.append_record({"layer": "fc1", "seq": 0, "site": 5,
+                               "bits": [3], "delta_loss": 0.25})
+        journal.close()
+        journal2, completed = CampaignJournal.open(path, self.FP)
+        journal2.close()
+        assert set(completed) == {("fc1", 0)}
+        assert completed[("fc1", 0)]["delta_loss"] == 0.25
+
+    def test_float_round_trip_is_exact(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        value = float(np.float64(1.0) / 3.0)
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_record({"layer": "l", "seq": 0,
+                                   "delta_loss": value})
+        _, completed, _ = load_journal(path)
+        assert completed[("l", 0)]["delta_loss"] == value  # bit-exact
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal.open(path, self.FP)[0].close()
+        with pytest.raises(JournalMismatch, match="different campaign"):
+            CampaignJournal.open(path, {"kind": "value", "seed": 1})
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_record({"layer": "l", "seq": 0, "delta_loss": 1.0})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "injection", "layer": "l", "seq": 1, "de')
+        header, completed, corrupt = load_journal(path)
+        assert header is not None
+        assert set(completed) == {("l", 0)}
+        assert corrupt == 1
+        # and the journal is still resumable
+        journal2, completed2 = CampaignJournal.open(path, self.FP)
+        journal2.close()
+        assert set(completed2) == {("l", 0)}
+
+    def test_last_record_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_record({"layer": "l", "seq": 0, "delta_loss": 1.0})
+            journal.append_record({"layer": "l", "seq": 0, "delta_loss": 2.0})
+        _, completed, _ = load_journal(path)
+        assert completed[("l", 0)]["delta_loss"] == 2.0
+
+    def test_quarantine_entries_are_advisory(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_quarantine({"shard_id": 3, "layer": "l",
+                                       "seqs": [1, 2], "attempts": 3,
+                                       "reason": "timeout"})
+        _, completed, corrupt = load_journal(path)
+        assert completed == {} and corrupt == 0  # skipped, not failed
+
+    def test_fingerprint_includes_data_digest(self):
+        kwargs = dict(kind="value", location="neuron", format_name="fp16",
+                      seed=0, injections_per_layer=5, num_bits=1,
+                      layers=["a"])
+        imgs = np.zeros((2, 3), dtype=np.float32)
+        labels = np.array([0, 1])
+        fp1 = campaign_fingerprint(**kwargs, images=imgs, labels=labels)
+        fp2 = campaign_fingerprint(**kwargs, images=imgs + 1, labels=labels)
+        assert fp1 != fp2
+        assert json.dumps(fp1)  # JSON-serialisable
+
+
+# ----------------------------------------------------------------------
+# serial <-> parallel bit-identity
+# ----------------------------------------------------------------------
+@needs_fork
+class TestParallelParity:
+    @pytest.fixture
+    def serial(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            return run_campaign(ge, *data, injections_per_layer=6, seed=11)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_matches_serial_bit_for_bit(self, model, data, serial,
+                                                 workers):
+        with GoldenEye(model, "fp16") as ge:
+            par = run_campaign(ge, *data, injections_per_layer=6, seed=11,
+                               workers=workers)
+        assert not par.interrupted and not par.quarantined
+        assert layer_stats(par) == layer_stats(serial)
+
+    def test_workers_one_is_the_serial_path(self, model, data, serial):
+        with GoldenEye(model, "fp16") as ge:
+            r = run_campaign(ge, *data, injections_per_layer=6, seed=11,
+                             workers=1)
+        assert layer_stats(r) == layer_stats(serial)
+
+    def test_parallel_without_resume_matches_too(self, model, data, serial):
+        with GoldenEye(model, "fp16") as ge:
+            par = run_campaign(ge, *data, injections_per_layer=6, seed=11,
+                               workers=2, resume=False)
+        assert layer_stats(par) == layer_stats(serial)
+
+    def test_worker_resume_stats_merged(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            par = run_campaign(ge, *data, injections_per_layer=4, seed=1,
+                               workers=2)
+        assert par.resume_stats is not None
+        assert par.resume_stats.get("workers", 0) >= 1
+        assert par.resume_stats["replayed"] > 0  # workers used the cache
+
+    def test_exec_telemetry_counters_present(self, model, data):
+        from repro.obs import get_registry
+        registry = get_registry()
+        before = registry.counter("exec.shards_total").value
+        with GoldenEye(model, "fp16") as ge:
+            run_campaign(ge, *data, injections_per_layer=4, seed=1, workers=2)
+        assert registry.counter("exec.shards_total").value > before
+        assert registry.counter("exec.heartbeats_total").value > 0
+
+
+# ----------------------------------------------------------------------
+# crash recovery: worker death, interrupt + journal resume
+# ----------------------------------------------------------------------
+def _crash_once(worker_id, shard, attempt):
+    """Worker fault hook: hard-kill the first worker to run shard 1."""
+    if shard.shard_id == 1 and attempt == 1:
+        os._exit(23)
+
+
+def _hang_last_layer(worker_id, shard, attempt):
+    if shard.layer == "fc3":
+        time.sleep(60)
+
+
+class _InterruptAfter:
+    """Parent-side hook: deliver a real SIGINT after N accepted records."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def __call__(self, total_records):
+        if total_records >= self.n:
+            os.kill(os.getpid(), signal.SIGINT)
+
+
+@needs_fork
+class TestCrashRecovery:
+    def test_worker_death_is_survived_bit_identically(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=6, seed=5)
+            cfg = ExecConfig(workers=2, shard_timeout=60.0, max_retries=2,
+                             backoff_base=0.02, worker_fault=_crash_once,
+                             install_signal_handlers=False)
+            par = run_campaign(ge, *data, injections_per_layer=6, seed=5,
+                               exec_config=cfg)
+        assert not par.interrupted and not par.quarantined
+        assert layer_stats(par) == layer_stats(serial)
+
+    def test_interrupt_then_journal_resume_is_bit_identical(
+            self, model, data, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=6, seed=5)
+            total = sum(r.injections for r in serial.per_layer.values())
+
+            cfg = ExecConfig(workers=2, on_record=_InterruptAfter(4))
+            partial = run_campaign(ge, *data, injections_per_layer=6, seed=5,
+                                   journal=journal, exec_config=cfg)
+            assert partial.interrupted
+            done = sum(r.injections for r in partial.per_layer.values())
+            assert 0 < done < total  # genuinely partial
+
+            resumed = run_campaign(ge, *data, injections_per_layer=6, seed=5,
+                                   journal=journal, workers=2)
+        assert not resumed.interrupted
+        assert resumed.telemetry["journal_skipped"] >= 4
+        assert layer_stats(resumed) == layer_stats(serial)
+
+    def test_serial_resume_from_parallel_journal(self, model, data, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        with GoldenEye(model, "fp16") as ge:
+            first = run_campaign(ge, *data, injections_per_layer=4, seed=2,
+                                 journal=journal, workers=2)
+            again = run_campaign(ge, *data, injections_per_layer=4, seed=2,
+                                 journal=journal)  # serial this time
+        total = sum(r.injections for r in first.per_layer.values())
+        assert again.telemetry["journal_skipped"] == total
+        assert layer_stats(again) == layer_stats(first)
+
+    def test_journal_of_other_campaign_is_rejected(self, model, data,
+                                                   tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        with GoldenEye(model, "fp16") as ge:
+            run_campaign(ge, *data, injections_per_layer=3, seed=2,
+                         journal=journal)
+            with pytest.raises(JournalMismatch, match="different campaign"):
+                run_campaign(ge, *data, injections_per_layer=3, seed=3,
+                             journal=journal)
+
+
+@needs_fork
+class TestQuarantine:
+    def test_poison_shard_quarantined_campaign_survives(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=6, seed=9)
+            cfg = ExecConfig(workers=2, shard_timeout=0.5, max_retries=1,
+                             backoff_base=0.02,
+                             worker_fault=_hang_last_layer,
+                             install_signal_handlers=False)
+            par = run_campaign(ge, *data, injections_per_layer=6, seed=9,
+                               exec_config=cfg)
+        assert par.quarantined, "hanging shards must be quarantined"
+        assert all(q["layer"] == "fc3" for q in par.quarantined)
+        assert all(q["reason"] == "timeout" for q in par.quarantined)
+        assert all(q["attempts"] == 2 for q in par.quarantined)  # 1 + retry
+        # fc3 degraded (partial or absent), every healthy layer bit-identical
+        healthy = {k: v for k, v in layer_stats(par).items() if k != "fc3"}
+        expected = {k: v for k, v in layer_stats(serial).items() if k != "fc3"}
+        assert healthy == expected
+        if "fc3" in par.per_layer:
+            assert par.per_layer["fc3"].injections < 6
+        assert par.telemetry["quarantined_shards"] == len(par.quarantined)
+
+    def test_quarantine_recorded_in_journal(self, model, data, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        cfg = ExecConfig(workers=2, shard_timeout=0.5, max_retries=0,
+                         backoff_base=0.02, worker_fault=_hang_last_layer,
+                         install_signal_handlers=False)
+        with GoldenEye(model, "fp16") as ge:
+            par = run_campaign(ge, *data, injections_per_layer=4, seed=9,
+                               journal=journal, exec_config=cfg)
+        assert par.quarantined
+        events = [json.loads(line) for line in open(journal, encoding="utf-8")]
+        quarantines = [e for e in events if e["type"] == "quarantine"]
+        assert quarantines and all(q["layer"] == "fc3" for q in quarantines)

@@ -320,3 +320,55 @@ class TestCampaignResume:
             result = run_campaign(ge, images, labels, injections_per_layer=2,
                                   seed=1, resume=False)
             assert result.resume_stats is None
+
+
+# ----------------------------------------------------------------------
+# fork-ownership protocol (parallel campaign workers)
+# ----------------------------------------------------------------------
+class TestSessionOwnership:
+    def test_fresh_session_is_owned_by_creator(self, cnn):
+        session = ResumeSession(cnn)
+        assert session.is_owner
+
+    def test_foreign_session_refuses_record_and_replay(self, cnn, batch):
+        import os
+
+        from repro.nn import Tensor
+
+        session = ResumeSession(cnn)
+        with session.recording():
+            cnn.forward_from(session, Tensor(batch[0]))
+        session.owner_pid = os.getpid() + 1  # simulate a fork-inherited copy
+        with pytest.raises(RuntimeError, match="adopt"):
+            with session.recording():
+                pass
+        with pytest.raises(RuntimeError, match="adopt"):
+            with session.replaying(0):
+                pass
+
+    def test_adopt_claims_session_and_resets_stats(self, cnn, batch):
+        import os
+
+        from repro.nn import Tensor
+
+        session = ResumeSession(cnn)
+        with session.recording():
+            full = cnn.forward_from(session, Tensor(batch[0]))
+        session.cache.stats.hits = 99
+        session.owner_pid = os.getpid() + 1  # pretend we are the fork child
+        session.adopt()
+        assert session.is_owner
+        assert session.stats.hits == 0  # per-worker delta starts clean
+        # the recording itself survives adoption: replay is still bit-exact
+        assert session.recorded
+        start = session.start_index_for(cnn.fc)
+        with session.replaying(start):
+            resumed = cnn.forward_from(session, Tensor(batch[0]))
+        np.testing.assert_array_equal(full.data, resumed.data)
+        assert session.stats.replayed > 0
+
+    def test_adopt_is_idempotent_for_the_owner(self, cnn):
+        session = ResumeSession(cnn)
+        session.cache.stats.hits = 7
+        session.adopt()  # already the owner: stats must be preserved
+        assert session.stats.hits == 7
