@@ -71,6 +71,7 @@ def profile_resilience(
     use_range_detector: bool = False,
     targets=("conv", "linear"),
     profiler=None,
+    numerics=None,
     workers: int = 1,
     journal: str | None = None,
     shard_timeout: float | None = None,
@@ -86,6 +87,11 @@ def profile_resilience(
     ``profiler`` (a :class:`~repro.obs.profiler.LayerProfiler`) splits every
     instrumented forward into compute / quantize / inject / detect phases.
 
+    ``numerics`` (a :class:`~repro.obs.numerics.NumericHealthMonitor`)
+    records per-layer quantization error, saturation / flush-to-zero /
+    NaN-remap counts and dynamic-range coverage through the formats' stats
+    sinks; the campaign telemetry then carries a ``numeric_health`` summary.
+
     ``workers`` / ``journal`` / ``shard_timeout`` are forwarded to
     :func:`~repro.core.campaign.run_campaign` (parallel execution and
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
@@ -97,7 +103,8 @@ def profile_resilience(
 
         detector = RangeDetector()
     platform = GoldenEye(model, format_spec, targets=targets,
-                         range_detector=detector, profiler=profiler)
+                         range_detector=detector, profiler=profiler,
+                         numerics=numerics)
     with platform:
         if use_range_detector:
             from ..core.campaign import golden_inference

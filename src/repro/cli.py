@@ -9,8 +9,9 @@ surface over the reproduction:
     python -m repro dse      --model resnet18 --family bfp --threshold 0.01
     python -m repro campaign --model resnet18 --format bfp_e5m5_b16 \
                              --kind metadata --injections 100 \
-                             --workers 4 --journal camp.jsonl
+                             --workers 4 --journal camp.jsonl --numerics
     python -m repro profile  --model resnet18 --format bfp_e5m5_b16
+    python -m repro report   --from-metrics metrics.json --from-trace t.jsonl
     python -m repro ranges
     python -m repro sites
 
@@ -44,10 +45,16 @@ from .models import available_models
 from .obs import (
     LayerProfiler,
     NULL_TRACER,
+    NumericHealthMonitor,
+    build_report,
     configure_tracing,
     export_prometheus,
     get_registry,
+    load_metrics,
+    load_trace_events,
+    render_report,
     set_tracer,
+    validate_report,
     write_json,
 )
 
@@ -194,11 +201,13 @@ def cmd_campaign(args) -> int:
     model, images, labels = _load(args)
     fmt = make_format(args.format)
     profiler = LayerProfiler()
+    numerics = NumericHealthMonitor() if args.numerics else None
     profile = profile_resilience(
         model, args.model, fmt, images[: args.batch], labels[: args.batch],
         injections_per_layer=args.injections, location=args.location,
-        seed=args.seed, profiler=profiler, workers=args.workers,
-        journal=args.journal, shard_timeout=args.shard_timeout)
+        seed=args.seed, profiler=profiler, numerics=numerics,
+        workers=args.workers, journal=args.journal,
+        shard_timeout=args.shard_timeout)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -210,6 +219,8 @@ def cmd_campaign(args) -> int:
     if summary:
         print(summary)
     profiler.publish(get_registry())  # per-layer phase timing -> exporters
+    if numerics is not None:
+        print("\n" + numerics.table())
     if args.verbose:
         print("\n" + profiler.table())
     return 0
@@ -276,6 +287,28 @@ def cmd_mixed(args) -> int:
                                     expensive=args.expensive,
                                     threshold=args.threshold)
     print(result.table())
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Assemble a campaign health report from metrics/trace artifacts."""
+    if not args.from_metrics and not args.from_trace:
+        print("report: at least one of --from-metrics / --from-trace is required",
+              file=sys.stderr)
+        return 2
+    metrics = load_metrics(args.from_metrics) if args.from_metrics else None
+    events = load_trace_events(args.from_trace) if args.from_trace else None
+    report = build_report(metrics=metrics, events=events,
+                          metrics_path=args.from_metrics,
+                          trace_path=args.from_trace)
+    validate_report(report)
+    text = render_report(report, args.render)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.render} report to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -346,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--shard-timeout", type=float, default=None,
                        help="seconds before a stuck shard attempt is killed "
                             "and retried (then quarantined)")
+    p.add_argument("--numerics", action="store_true",
+                   help="attach the numeric-health monitor (per-layer "
+                        "quantization error, saturation / flush-to-zero / "
+                        "NaN-remap counters, dynamic-range coverage); the "
+                        "stats feed the metrics exporters and the summary "
+                        "table printed after the campaign")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("attack", help="adversarial attack efficacy vs format (§V-D)")
@@ -387,6 +426,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sites", help="list the single-bit injection sites")
     p.add_argument("--kind", choices=["value", "metadata"], default=None)
     p.set_defaults(func=cmd_sites)
+
+    p = sub.add_parser("report", help="render a campaign health report from "
+                                      "metrics/trace artifacts")
+    p.add_argument("--from-metrics", metavar="FILE", default=None,
+                   help="metrics JSON written by --metrics-json")
+    p.add_argument("--from-trace", metavar="FILE", default=None,
+                   help="JSONL trace written by --trace")
+    p.add_argument("--render", choices=["markdown", "html", "json"],
+                   default="markdown", help="output format (default markdown)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the report to FILE instead of stdout")
+    p.set_defaults(func=cmd_report)
 
     # every subcommand gets the observability surface
     for command_parser in sub.choices.values():

@@ -565,6 +565,10 @@ def run_campaign(
                 for name, r in per_layer.items()
             },
         }
+        if platform.numerics is not None:
+            # merged registry view: identical for serial and parallel runs
+            # (workers stream their numerics deltas back per shard)
+            telemetry["numeric_health"] = platform.numerics.as_dict()
         return CampaignResult(
             kind=kind,
             location=location,

@@ -34,6 +34,7 @@ from .injection import InjectionEngine
 from .resume import DEFAULT_CACHE_BUDGET, ResumeSession
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.numerics import NumericHealthMonitor
     from ..obs.profiler import LayerProfiler
 
 logger = logging.getLogger("repro.goldeneye")
@@ -112,6 +113,13 @@ class GoldenEye:
         detect phases with per-layer ns/element and activation-memory
         accounting; when ``None`` (the default) the hook hot path carries a
         single ``is not None`` check and no timing calls.
+    numerics:
+        Optional :class:`~repro.obs.numerics.NumericHealthMonitor`.  When
+        set, :meth:`attach` installs a numeric-health stats sink on every
+        layer format (weight *and* neuron streams), recording quantization
+        error, saturation/flush/NaN-remap counts and dynamic-range coverage
+        per layer; when ``None`` (the default) each tensor conversion pays
+        one ``is not None`` check.
     """
 
     def __init__(
@@ -123,12 +131,14 @@ class GoldenEye:
         quantize_neurons: bool = True,
         range_detector: RangeDetector | None = None,
         profiler: "LayerProfiler | None" = None,
+        numerics: "NumericHealthMonitor | None" = None,
     ):
         self.model = model
         self.quantize_weights = quantize_weights
         self.quantize_neurons = quantize_neurons
         self.detector = range_detector
         self.profiler = profiler
+        self.numerics = numerics
         self.injector = InjectionEngine(self)
         self._attached = False
         self._format_spec = number_format
@@ -194,6 +204,10 @@ class GoldenEye:
         if self._attached:
             return self
         registry = get_registry()
+        if self.numerics is not None:
+            # before weight conversion, so the attach-time weight
+            # quantization is part of the numeric-health record
+            self.numerics.attach(self)
         with get_tracer().span("goldeneye.attach", format=self.format_name(),
                                layers=len(self.layers)):
             for state in self.layers.values():
@@ -231,6 +245,8 @@ class GoldenEye:
                 np.copyto(getattr(state.module, pname).data, original)
             state.original_weights.clear()
             state.weight_golden_metadata = None
+        if self.numerics is not None:
+            self.numerics.detach(self)
         self._attached = False
         # cached activations were produced under the (now removed) hooks
         self.clear_resume()

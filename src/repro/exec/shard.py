@@ -34,6 +34,11 @@ class Shard:
         """A copy of this shard covering only the seqs not in ``done``."""
         return replace(self, seqs=tuple(s for s in self.seqs if s not in done))
 
+    def summary(self) -> dict:
+        """Flat span/trace attributes describing this shard."""
+        return {"shard_id": self.shard_id, "layer": self.layer,
+                "seqs": len(self.seqs)}
+
     def __len__(self) -> int:
         return len(self.seqs)
 

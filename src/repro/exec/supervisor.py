@@ -28,13 +28,19 @@ workers=N)``:
   returns a partial result marked ``interrupted`` that a later run can
   resume from.
 
-All telemetry is parent-side (worker registries are lost with the fork):
-``exec.shards_total``, ``exec.shard_retries_total``,
-``exec.shard_timeouts_total``, ``exec.shards_quarantined_total``,
-``exec.worker_deaths_total``, ``exec.heartbeats_total``, the
-``exec.workers`` gauge and the ``exec.shard_seconds`` histogram, plus one
-``exec.shard`` trace event per settled shard and one ``exec.quarantine``
-event per abandoned one.
+Supervision telemetry is parent-side: ``exec.shards_total``,
+``exec.shard_retries_total``, ``exec.shard_timeouts_total``,
+``exec.shards_quarantined_total``, ``exec.worker_deaths_total``,
+``exec.heartbeats_total``, the ``exec.workers`` gauge and the
+``exec.shard_seconds`` histogram, plus one ``exec.shard`` trace event per
+settled shard and one ``exec.quarantine`` event per abandoned one.
+Worker-side observability is **streamed, not lost**: each shard attempt
+sends a ``telemetry`` message carrying its metric
+:meth:`~repro.obs.telemetry.RunScope` delta and buffered trace events,
+which :meth:`CampaignSupervisor._merge_worker_telemetry` folds into the
+parent registry/tracer with ``worker_id`` tags
+(``exec.telemetry_merges_total`` counts the merges) — so a parallel
+campaign's registry and JSONL trace match a serial run's.
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..obs.telemetry import get_registry
+from ..obs.telemetry import get_registry, merge_metric_delta
 from ..obs.tracing import get_tracer
 from .shard import Shard, plan_shards
 from .worker import WorkerPayload, worker_main
@@ -281,11 +287,36 @@ class CampaignSupervisor:
             if entry is not None and entry[2] == attempt:
                 self._inflight.pop(shard_id, None)
                 self._fail_shard(shard_id, f"worker error: {error}")
+        elif mtype == "telemetry":
+            self._merge_worker_telemetry(worker_id, body)
         elif mtype == "exit":
             self._clean_exits.add(worker_id)
             if body:
                 self.worker_resume_stats.append(dict(body))
         # "ready" needs no handling beyond the heartbeat
+
+    def _merge_worker_telemetry(self, worker_id: int, body: dict) -> None:
+        """Adopt one shard attempt's observability payload.
+
+        Metric deltas fold into the parent registry (counters add,
+        histograms merge bucket-wise, worker gauges get a ``worker`` label
+        so they never clobber parent state); buffered trace events are
+        replayed into the parent sink tagged with the producing worker —
+        the merged JSONL trace of a parallel campaign therefore carries the
+        same worker-side events a serial run would have written directly.
+        """
+        metrics = body.get("metrics")
+        if metrics:
+            merge_metric_delta(metrics, self._registry, worker=worker_id)
+        events = body.get("events") or ()
+        if events and self._tracer.enabled:
+            for event in events:
+                tagged = dict(event)
+                tagged["worker_id"] = worker_id
+                self._tracer.emit_foreign(tagged)
+        self._registry.counter(
+            "exec.telemetry_merges_total",
+            help="worker shard-attempt telemetry payloads merged").inc()
 
     def _accept_record(self, shard_id: int, record: dict) -> None:
         from ..core.campaign import emit_injection_telemetry

@@ -19,6 +19,16 @@ timestamp)`` tuples):
 * ``("done", wid, (shard_id, attempt), t)`` — shard attempt finished;
 * ``("error", wid, (shard_id, attempt, message), t)`` — shard attempt
   raised; the worker survives and awaits its next task;
+* ``("telemetry", wid, {shard_id, attempt, metrics, events}, t)`` — the
+  shard attempt's observability payload: a serialized
+  :meth:`~repro.obs.telemetry.RunScope.delta` of every metric the attempt
+  contributed (flip counters, numeric-health histograms, span timings) and
+  the attempt's buffered trace events.  The supervisor folds the metrics
+  into the parent registry (:func:`~repro.obs.telemetry.merge_metric_delta`)
+  and replays the events into the parent trace sink tagged with this
+  ``worker_id`` — so ``--trace --workers N`` records what ``--workers 0``
+  would.  Sent after the work, before ``done``/``error``; a worker killed
+  mid-attempt loses that attempt's (partial) telemetry, never duplicates it;
 * ``("exit", wid, resume_stats | None, t)`` — worker drained the sentinel
   and is shutting down cleanly (carries its activation-cache counters).
 
@@ -65,12 +75,24 @@ def worker_main(worker_id: int, payload: WorkerPayload,
     signal.signal(signal.SIGINT, signal.SIG_IGN)
 
     from ..core.campaign import execute_injection
+    from ..obs.telemetry import get_registry
+    from ..obs.tracing import BufferingTracer, get_tracer, set_tracer
 
     session = getattr(payload.platform, "resume_session", None)
     if session is not None:
         # claim the forked copy of the activation cache: per-worker stats
         # start at zero so the supervisor can aggregate true worker deltas
         session.adopt()
+
+    # The forked copy of the parent's tracer shares the parent's buffered
+    # file handle — writing through it would interleave bytes mid-line.
+    # Replace it with an in-memory buffer whose events travel over the
+    # result queue instead; the parent replays them worker_id-tagged.
+    buffer = None
+    if get_tracer().enabled:
+        buffer = BufferingTracer()
+        set_tracer(buffer)
+    registry = get_registry()
 
     result_queue.put(("ready", worker_id, None, time.time()))
     while True:
@@ -82,23 +104,46 @@ def worker_main(worker_id: int, payload: WorkerPayload,
         shard, attempt = task
         result_queue.put(("start", worker_id, (shard.shard_id, attempt),
                           time.time()))
-        try:
-            if payload.fault is not None:
-                payload.fault(worker_id, shard, attempt)
-            plans = payload.plans[shard.layer]
-            for seq in shard.seqs:
-                record = execute_injection(payload.platform, payload.golden,
-                                           payload.images, plans[seq],
-                                           payload.use_resume)
-                record["layer"] = shard.layer
-                record["seq"] = seq
-                result_queue.put(("record", worker_id,
-                                  (shard.shard_id, attempt, record),
-                                  time.time()))
-        except BaseException as exc:  # noqa: BLE001 - report, don't die
+        failure = None
+        # every metric the attempt touches (injection flip counters,
+        # numeric-health streams, span timings) is captured as a delta and
+        # streamed back — worker registries die with the fork otherwise
+        with registry.run_scope(f"w{worker_id}-s{shard.shard_id}-a{attempt}") \
+                as scope:
+            try:
+                span = (buffer.span("exec.worker_shard", attempt=attempt,
+                                    **shard.summary())
+                        if buffer is not None else None)
+                if payload.fault is not None:
+                    payload.fault(worker_id, shard, attempt)
+                plans = payload.plans[shard.layer]
+                if span is not None:
+                    span.__enter__()
+                try:
+                    for seq in shard.seqs:
+                        record = execute_injection(
+                            payload.platform, payload.golden, payload.images,
+                            plans[seq], payload.use_resume)
+                        record["layer"] = shard.layer
+                        record["seq"] = seq
+                        result_queue.put(("record", worker_id,
+                                          (shard.shard_id, attempt, record),
+                                          time.time()))
+                finally:
+                    if span is not None:
+                        span.__exit__(None, None, None)
+            except BaseException as exc:  # noqa: BLE001 - report, don't die
+                failure = f"{type(exc).__name__}: {exc}"
+        metrics = scope.delta()
+        events = buffer.drain() if buffer is not None else []
+        if metrics or events:
+            result_queue.put(("telemetry", worker_id,
+                              {"shard_id": shard.shard_id, "attempt": attempt,
+                               "metrics": metrics, "events": events},
+                              time.time()))
+        if failure is not None:
             result_queue.put(("error", worker_id,
-                              (shard.shard_id, attempt,
-                               f"{type(exc).__name__}: {exc}"),
+                              (shard.shard_id, attempt, failure),
                               time.time()))
             continue
         result_queue.put(("done", worker_id, (shard.shard_id, attempt),

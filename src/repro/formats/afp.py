@@ -103,13 +103,33 @@ class AdaptivFloat(NumberFormat):
         peak = float(np.max(magnitude, initial=0.0))
         if peak == 0.0:
             self.metadata = np.int64(0)
-            return np.zeros_like(x)
+            result = np.zeros_like(x)
+            if self.stats_sink is not None:
+                # degenerate tensor: every finite value is zero; inf inputs
+                # exceed any representable range, NaN has no AFP encoding
+                self.stats_sink.record(
+                    self, x, result,
+                    saturated=int(np.count_nonzero(np.isinf(xd))),
+                    flushed=0,
+                    nan_remapped=int(np.count_nonzero(np.isnan(xd))))
+            return result
         bias = self.bias_for_peak(peak, self.exp_bits)
         # keep the register representable (8-bit signed)
         bias = int(np.clip(bias, -(1 << (self.METADATA_WIDTH - 1)),
                            (1 << (self.METADATA_WIDTH - 1)) - 1))
         self.metadata = np.int64(bias)
-        return self._quantize_with_bias(xd, bias).astype(np.float32)
+        result = self._quantize_with_bias(xd, bias).astype(np.float32)
+        if self.stats_sink is not None:
+            abs_xd = np.abs(xd)
+            saturated = int(np.count_nonzero(
+                abs_xd > self.max_value_for_bias(bias)))  # inf included
+            flushed = int(np.count_nonzero(
+                (result == 0.0) & (abs_xd > 0.0) & np.isfinite(xd)))
+            nan_remapped = int(np.count_nonzero(np.isnan(xd)))
+            self.stats_sink.record(self, x, result,
+                                   saturated=saturated, flushed=flushed,
+                                   nan_remapped=nan_remapped)
+        return result
 
     def _quantize_with_bias(self, xd: np.ndarray, bias: int) -> np.ndarray:
         e_min, e_max = self._exp_window(bias)

@@ -58,6 +58,20 @@ class NumberFormat(abc.ABC):
         self.bit_width = int(bit_width)
         self.radix = int(radix)
         self.metadata: Any | None = None
+        #: optional numeric-health sink (see :mod:`repro.obs.numerics`).
+        #: ``None`` keeps the tensor path allocation-free; when set, each
+        #: ``real_to_format_tensor`` call reports quantization error and
+        #: saturation/flush/NaN-remap counts through ``sink.record(...)``.
+        self.stats_sink: Any | None = None
+
+    def set_stats_sink(self, sink: Any | None) -> None:
+        """Install (or clear, with ``None``) the numeric-health stats sink.
+
+        The sink is duck-typed: anything with a
+        ``record(fmt, original, quantized, *, saturated, flushed,
+        nan_remapped)`` method works; formats never import :mod:`repro.obs`.
+        """
+        self.stats_sink = sink
 
     # ------------------------------------------------------------------
     # the four pure-virtual methods (paper §III-B)

@@ -150,16 +150,28 @@ class BlockFloatingPoint(NumberFormat):
         self.metadata = BfpMetadata(exp_fields=exp_fields, block_size=block_size, numel=numel)
 
         granularity = np.exp2(shared_exp - self.mantissa_bits + 1)[:, None]
-        mantissas = np.round(np.abs(blocks) / granularity)
+        raw_mantissas = np.round(np.abs(blocks) / granularity)
         # sign-magnitude mantissas: NaN has no encoding (-> 0), inf saturates
-        mantissas = np.nan_to_num(mantissas, nan=0.0, posinf=self.max_mantissa)
+        mantissas = np.nan_to_num(raw_mantissas, nan=0.0, posinf=self.max_mantissa)
         mantissas = np.clip(mantissas, 0, self.max_mantissa)
         signs = np.where(np.isnan(blocks), 0.0, np.sign(blocks))
         quantized = signs * mantissas * granularity
         zero_block = peak == 0.0
         if zero_block.any():
             quantized[zero_block] = 0.0
-        return quantized.reshape(-1)[:numel].reshape(x.shape).astype(np.float32)
+        result = quantized.reshape(-1)[:numel].reshape(x.shape).astype(np.float32)
+        if self.stats_sink is not None:
+            # raw mantissa past the register's reach = true dynamic-range
+            # saturation (inf included via inf > max; NaN > max is False);
+            # padding zeros round to mantissa 0 and contribute nothing.
+            saturated = int(np.count_nonzero(raw_mantissas > self.max_mantissa))
+            flushed = int(np.count_nonzero(
+                (mantissas == 0) & np.isfinite(blocks) & (blocks != 0.0)))
+            nan_remapped = int(np.count_nonzero(np.isnan(blocks)))
+            self.stats_sink.record(self, x, result,
+                                   saturated=saturated, flushed=flushed,
+                                   nan_remapped=nan_remapped)
+        return result
 
     # ------------------------------------------------------------------
     # scalar path ([sign | mantissa], block-relative)

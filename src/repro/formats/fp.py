@@ -86,7 +86,16 @@ class FloatingPoint(NumberFormat):
             )
         quantized = np.minimum(quantized, self.max_value)  # saturate
         quantized = np.where(magnitude == 0.0, 0.0, quantized)
-        return (np.sign(xd) * quantized).astype(np.float32)
+        result = (np.sign(xd) * quantized).astype(np.float32)
+        if self.stats_sink is not None:
+            # NaN > x is False, so saturated counts finite overflow and ±inf
+            saturated = int(np.count_nonzero(magnitude > self.max_value))
+            flushed = int(np.count_nonzero(
+                (quantized == 0.0) & (magnitude > 0.0) & np.isfinite(magnitude)))
+            self.stats_sink.record(self, x, result,
+                                   saturated=saturated, flushed=flushed,
+                                   nan_remapped=0)
+        return result
 
     # ------------------------------------------------------------------
     # scalar path (bit-exact layout: [sign | exponent | mantissa])

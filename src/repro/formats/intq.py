@@ -77,13 +77,33 @@ class IntegerQuant(NumberFormat):
             # all-zero tensor, or a peak so small the FP32 scale register
             # underflows: every code is zero either way
             self.metadata = np.float32(1.0)
-            return np.zeros_like(x)
+            result = np.zeros_like(x)
+            if self.stats_sink is not None:
+                self.stats_sink.record(
+                    self, x, result,
+                    saturated=int(np.count_nonzero(np.isinf(x))),
+                    flushed=int(np.count_nonzero(
+                        np.isfinite(x) & (x != 0.0))),
+                    nan_remapped=int(np.count_nonzero(np.isnan(x))))
+            return result
         self.metadata = scale
-        codes = np.round(x.astype(np.float64) / float(scale))
+        raw_codes = np.round(x.astype(np.float64) / float(scale))
         # integer pipelines carry no NaN; overflow saturates
-        codes = np.nan_to_num(codes, nan=0.0, posinf=self.max_code, neginf=-self.max_code)
+        codes = np.nan_to_num(raw_codes, nan=0.0,
+                              posinf=self.max_code, neginf=-self.max_code)
         codes = np.clip(codes, -self.max_code, self.max_code)
-        return (codes * float(scale)).astype(np.float32)
+        result = (codes * float(scale)).astype(np.float32)
+        if self.stats_sink is not None:
+            # |raw code| beyond max_code = range clip (±inf included; NaN
+            # compares False so it lands in nan_remapped, not saturated)
+            saturated = int(np.count_nonzero(np.abs(raw_codes) > self.max_code))
+            flushed = int(np.count_nonzero(
+                (codes == 0) & np.isfinite(x) & (x != 0.0)))
+            nan_remapped = int(np.count_nonzero(np.isnan(x)))
+            self.stats_sink.record(self, x, result,
+                                   saturated=saturated, flushed=flushed,
+                                   nan_remapped=nan_remapped)
+        return result
 
     # ------------------------------------------------------------------
     # scalar path (two's-complement integer code)

@@ -131,7 +131,16 @@ class Posit(NumberFormat):
         # posit rule: a nonzero value never rounds to zero
         tiny = (nearest == 0.0) & (clean != 0.0)
         nearest = np.where(tiny, np.sign(clean) * self.minpos, nearest)
-        return nearest.reshape(x.shape).astype(np.float32)
+        result = nearest.reshape(x.shape).astype(np.float32)
+        if self.stats_sink is not None:
+            # |x| > maxpos saturates (±inf included; NaN compares False);
+            # posits never flush — a nonzero value never rounds to zero
+            saturated = int(np.count_nonzero(np.abs(flat) > self.maxpos))
+            nan_remapped = int(np.count_nonzero(np.isnan(flat)))
+            self.stats_sink.record(self, x.astype(np.float32), result,
+                                   saturated=saturated, flushed=0,
+                                   nan_remapped=nan_remapped)
+        return result
 
     # ------------------------------------------------------------------
     # scalar path

@@ -10,7 +10,12 @@ The measurement substrate for the platform's performance claims:
   instrumented forward into compute / quantize / inject / detect phases
   (ns/element, activation-memory footprints);
 * :mod:`repro.obs.export` — JSON, CSV and Prometheus text exposition of the
-  registry, plus ``BENCH_*.json`` benchmark artifacts.
+  registry, plus ``BENCH_*.json`` benchmark artifacts;
+* :mod:`repro.obs.numerics` — per-layer numeric-health monitors
+  (quantization error, saturation / flush-to-zero / NaN-remap counters,
+  dynamic-range coverage) fed by the formats' stats sinks;
+* :mod:`repro.obs.report` — campaign health reports (markdown / HTML /
+  JSON) assembled offline from the metrics + trace artifacts.
 """
 
 from .export import (
@@ -20,7 +25,20 @@ from .export import (
     write_bench_json,
     write_json,
 )
+from .numerics import (
+    NumericHealthMonitor,
+    NumericStatsSink,
+    summarize_numerics,
+)
 from .profiler import LayerProfiler, PhaseStats
+from .report import (
+    REPORT_SCHEMA,
+    build_report,
+    load_metrics,
+    load_trace_events,
+    render_report,
+    validate_report,
+)
 from .telemetry import (
     Counter,
     Gauge,
@@ -28,10 +46,12 @@ from .telemetry import (
     MetricsRegistry,
     RunScope,
     get_registry,
+    merge_metric_delta,
     reset_registry,
     set_registry,
 )
 from .tracing import (
+    BufferingTracer,
     JsonlSink,
     NULL_TRACER,
     NullTracer,
@@ -50,8 +70,10 @@ __all__ = [
     "get_registry",
     "set_registry",
     "reset_registry",
+    "merge_metric_delta",
     "JsonlSink",
     "Tracer",
+    "BufferingTracer",
     "NullTracer",
     "NULL_TRACER",
     "get_tracer",
@@ -59,6 +81,15 @@ __all__ = [
     "configure_tracing",
     "LayerProfiler",
     "PhaseStats",
+    "NumericHealthMonitor",
+    "NumericStatsSink",
+    "summarize_numerics",
+    "REPORT_SCHEMA",
+    "build_report",
+    "load_metrics",
+    "load_trace_events",
+    "render_report",
+    "validate_report",
     "export_json",
     "write_json",
     "export_csv",

@@ -100,6 +100,25 @@ def export_csv(registry: MetricsRegistry | None = None) -> str:
 # ----------------------------------------------------------------------
 # Prometheus text exposition
 # ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping.
+
+    Per the text format spec, label values escape backslash, the double
+    quote *and* line feed (``\\`` → ``\\\\``, ``"`` → ``\\"``, newline →
+    ``\\n``) — previously newlines were emitted raw, splitting the sample
+    line and corrupting the scrape.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes backslash and line feed (but not quotes)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
@@ -107,7 +126,7 @@ def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) ->
     if not merged:
         return ""
     inner = ",".join(
-        f'{_sanitize(k)}="{str(v).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        f'{_sanitize(k)}="{_escape_label_value(v)}"'
         for k, v in sorted(merged.items()))
     return "{" + inner + "}"
 
@@ -122,7 +141,7 @@ def export_prometheus(registry: MetricsRegistry | None = None) -> str:
         if name not in seen_types:
             seen_types.add(name)
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
         if metric.kind == "histogram":
             cumulative = 0

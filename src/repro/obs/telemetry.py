@@ -40,6 +40,7 @@ __all__ = [
     "get_registry",
     "set_registry",
     "reset_registry",
+    "merge_metric_delta",
 ]
 
 #: default histogram bucket upper bounds (seconds-flavoured, but generic)
@@ -74,17 +75,26 @@ class _Metric:
 
 
 class Counter(_Metric):
-    """Monotonically increasing count (flips performed, cache hits, ...)."""
+    """Monotonically increasing count (flips performed, cache hits, ...).
+
+    NaN increments are refused and tallied in :attr:`nan_count` instead of
+    silently poisoning the running total (a single NaN would make every
+    downstream export report NaN forever).
+    """
 
     kind = "counter"
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "nan_count")
 
     def __init__(self, name: str, labels: dict[str, str], help: str = ""):
         super().__init__(name, labels, help)
         self._value = 0.0
+        self.nan_count = 0
 
     def inc(self, amount: float = 1.0) -> None:
+        if amount != amount:  # NaN guard: never poison the accumulation
+            self.nan_count += 1
+            return
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
         self._value += amount
@@ -94,22 +104,34 @@ class Counter(_Metric):
         return self._value
 
     def snapshot(self) -> dict:
-        return {"value": self._value}
+        snap = {"value": self._value}
+        if self.nan_count:
+            snap["nan_count"] = self.nan_count
+        return snap
 
 
 class Gauge(_Metric):
-    """A value that can go up and down (cache bytes, hit-rate, progress)."""
+    """A value that can go up and down (cache bytes, hit-rate, progress).
+
+    ``set(nan)`` keeps the previous value and tallies :attr:`nan_count`
+    instead — a gauge is *state*, and NaN state helps nobody downstream.
+    """
 
     kind = "gauge"
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "nan_count")
 
     def __init__(self, name: str, labels: dict[str, str], help: str = ""):
         super().__init__(name, labels, help)
         self._value = 0.0
+        self.nan_count = 0
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        value = float(value)
+        if value != value:  # NaN guard
+            self.nan_count += 1
+            return
+        self._value = value
 
     def inc(self, amount: float = 1.0) -> None:
         self._value += amount
@@ -125,15 +147,24 @@ class Gauge(_Metric):
         return self._value
 
     def snapshot(self) -> dict:
-        return {"value": self._value}
+        snap = {"value": self._value}
+        if self.nan_count:
+            snap["nan_count"] = self.nan_count
+        return snap
 
 
 class Histogram(_Metric):
-    """Bucketed distribution (per-layer timings, ΔLoss spread, ...)."""
+    """Bucketed distribution (per-layer timings, ΔLoss spread, ...).
+
+    ``observe(nan)`` is counted in :attr:`nan_count` and otherwise ignored:
+    a single NaN ΔLoss must not poison ``sum``/``mean`` and every export
+    derived from them.
+    """
 
     kind = "histogram"
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "min", "max",
+                 "nan_count")
 
     def __init__(self, name: str, labels: dict[str, str], help: str = "",
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS):
@@ -146,9 +177,13 @@ class Histogram(_Metric):
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.nan_count = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if value != value:  # NaN guard: count, never accumulate
+            self.nan_count += 1
+            return
         self.count += 1
         self.sum += value
         if value < self.min:
@@ -161,12 +196,52 @@ class Histogram(_Metric):
                 return
         self.bucket_counts[-1] += 1
 
+    def merge(self, entry: dict) -> None:
+        """Fold a serialized delta (from :meth:`RunScope.delta`) into this
+        histogram — the cross-process merge primitive used by the parallel
+        campaign supervisor to adopt worker-side observations.
+
+        ``entry`` carries ``count``/``sum`` (and optionally ``min``/``max``,
+        per-bound ``buckets`` and ``nan_count``).  Bucket bounds are matched
+        by value; a foreign bound with no exact local match lands in the
+        first local bucket that covers it.
+        """
+        count = int(entry.get("count", 0) or 0)
+        self.nan_count += int(entry.get("nan_count", 0) or 0)
+        if count <= 0:
+            return
+        self.count += count
+        self.sum += float(entry.get("sum", 0.0) or 0.0)
+        lo = entry.get("min")
+        hi = entry.get("max")
+        if lo is not None and float(lo) < self.min:
+            self.min = float(lo)
+        if hi is not None and float(hi) > self.max:
+            self.max = float(hi)
+        buckets = entry.get("buckets")
+        if not buckets:
+            # no distribution detail: attribute everything to the mean
+            mean = float(entry.get("sum", 0.0) or 0.0) / count
+            self.bucket_counts[self._bucket_index(mean)] += count
+            return
+        for key, n in buckets.items():
+            if not n:
+                continue
+            bound = math.inf if key in ("+inf", "inf") else float(key)
+            self.bucket_counts[self._bucket_index(bound)] += int(n)
+
+    def _bucket_index(self, value: float) -> int:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)  # +inf bucket
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
@@ -177,6 +252,9 @@ class Histogram(_Metric):
                 for i, c in enumerate(self.bucket_counts)
             },
         }
+        if self.nan_count:
+            snap["nan_count"] = self.nan_count
+        return snap
 
 
 class MetricsRegistry:
@@ -268,7 +346,8 @@ class RunScope:
 
     Counters and histogram (count, sum) pairs are reported as deltas against
     the values at scope entry; gauges are reported at their current value
-    (a gauge is a *state*, not an accumulation).
+    (a gauge is a *state*, not an accumulation) — but only when the run
+    touched them (set during the scope, or changed vs the entry snapshot).
     """
 
     def __init__(self, registry: MetricsRegistry, run_id: str):
@@ -287,29 +366,87 @@ class RunScope:
         self.ended_at = time.time()
 
     def delta(self) -> dict:
-        """This run's contribution: ``{name: [{labels, type, ...}, ...]}``."""
+        """This run's contribution: ``{name: [{labels, type, ...}, ...]}``.
+
+        Histogram entries carry enough structure (``min``/``max``, per-bound
+        ``buckets`` deltas, ``nan_count``) for :meth:`Histogram.merge` to fold
+        them into another process's registry without losing distribution
+        detail — this is the wire format the parallel campaign workers stream
+        back to the supervisor.
+        """
         out: dict[str, list[dict]] = {}
         for metric in self.registry:
             snap = metric.snapshot()
             base = self._entry.get(metric.key)
+            nan_delta = snap.get("nan_count", 0) - (
+                base.get("nan_count", 0) if base else 0)
             if metric.kind == "counter":
                 value = snap["value"] - (base["value"] if base else 0.0)
-                if value == 0.0:
+                if value == 0.0 and nan_delta == 0:
                     continue
                 entry = {"value": value}
             elif metric.kind == "histogram":
                 count = snap["count"] - (base["count"] if base else 0)
-                if count == 0:
+                if count == 0 and nan_delta == 0:
                     continue
                 total = snap["sum"] - (base["sum"] if base else 0.0)
+                base_buckets = base.get("buckets", {}) if base else {}
+                buckets = {
+                    key: n - base_buckets.get(key, 0)
+                    for key, n in snap["buckets"].items()
+                    if n - base_buckets.get(key, 0)
+                }
                 entry = {"count": count, "sum": total,
-                         "mean": total / count if count else 0.0}
-            else:  # gauge: current state
+                         "mean": total / count if count else 0.0,
+                         "min": snap["min"], "max": snap["max"],
+                         "buckets": buckets}
+            else:  # gauge: current state (skipped when untouched this run)
+                if base is not None and snap["value"] == base["value"] \
+                        and nan_delta == 0:
+                    continue
                 entry = {"value": snap["value"]}
+            if nan_delta:
+                entry["nan_count"] = nan_delta
             out.setdefault(metric.name, []).append({
                 "type": metric.kind, "labels": dict(metric.labels), **entry,
             })
         return out
+
+
+def merge_metric_delta(delta: dict, registry: MetricsRegistry | None = None,
+                       worker: int | str | None = None) -> None:
+    """Fold a serialized :meth:`RunScope.delta` into ``registry``.
+
+    This is the supervisor-side half of cross-process telemetry: a worker
+    wraps each shard in a :class:`RunScope`, serializes ``delta()`` over the
+    result queue, and the parent calls this to adopt the contribution.
+
+    * counters are incremented by the delta value,
+    * histograms are folded with :meth:`Histogram.merge` (bucket-preserving),
+    * gauges are *state*, not accumulations — merging a worker gauge into the
+      parent's would clobber parent state, so when ``worker`` is given the
+      gauge is re-registered with an extra ``worker`` label instead.
+    """
+    registry = registry if registry is not None else get_registry()
+    for name, entries in delta.items():
+        for entry in entries:
+            labels = dict(entry.get("labels", {}))
+            kind = entry.get("type")
+            nan_count = int(entry.get("nan_count", 0) or 0)
+            if kind == "counter":
+                counter = registry.counter(name, **labels)
+                value = float(entry.get("value", 0.0) or 0.0)
+                if value:
+                    counter.inc(value)
+                counter.nan_count += nan_count
+            elif kind == "histogram":
+                registry.histogram(name, **labels).merge(entry)
+            elif kind == "gauge":
+                if worker is not None:
+                    labels["worker"] = str(worker)
+                gauge = registry.gauge(name, **labels)
+                gauge.set(float(entry.get("value", 0.0) or 0.0))
+                gauge.nan_count += nan_count
 
 
 # ----------------------------------------------------------------------

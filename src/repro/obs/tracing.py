@@ -37,6 +37,7 @@ from typing import IO, Any
 __all__ = [
     "JsonlSink",
     "Tracer",
+    "BufferingTracer",
     "NullTracer",
     "NULL_TRACER",
     "get_tracer",
@@ -151,8 +152,59 @@ class Tracer:
             self.registry.histogram(
                 "trace.span_seconds", span=event["name"]).observe(event["dur_s"])
 
+    def emit_foreign(self, event: dict) -> None:
+        """Write an event produced by *another* process (a worker) verbatim.
+
+        Unlike :meth:`_emit`, foreign spans are **not** mirrored into
+        ``trace.span_seconds`` — the worker's metric delta already carries its
+        histogram contribution, and double-mirroring would double-count.
+        """
+        self.sink.write(event)
+
     def close(self) -> None:
         self.sink.close()
+
+
+class BufferingTracer:
+    """Worker-side tracer: buffers events in memory instead of writing.
+
+    Installed in forked campaign workers when the parent process is tracing.
+    The worker cannot share the parent's file handle safely (interleaved
+    writes through a forked buffered ``IO`` corrupt JSONL), so spans and
+    events accumulate here and :meth:`drain` serializes them over the result
+    queue; the supervisor replays them into the parent sink via
+    :meth:`Tracer.emit_foreign` with a ``worker_id`` tag.
+
+    No registry mirroring happens worker-side: span durations reach the
+    parent's ``trace.span_seconds`` through the worker's metric delta, never
+    twice.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+
+    def _emit(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def drain(self) -> list[dict]:
+        """Return all buffered events and clear the buffer."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def close(self) -> None:
+        with self._lock:
+            self._events.clear()
 
 
 class _NullSpan:
@@ -184,6 +236,9 @@ class NullTracer:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs) -> None:
+        pass
+
+    def emit_foreign(self, event: dict) -> None:
         pass
 
     def close(self) -> None:

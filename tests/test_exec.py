@@ -236,6 +236,112 @@ class TestParallelParity:
 
 
 # ----------------------------------------------------------------------
+# cross-process telemetry parity: --workers N records what serial records
+# ----------------------------------------------------------------------
+@needs_fork
+class TestTelemetryParity:
+    """Worker observability is streamed, not lost: a traced ``--workers 2``
+    campaign must produce the same ``campaign.injection`` event multiset and
+    the same merged registry counters as a serial run (modulo event ordering
+    and ``worker_id`` tags)."""
+
+    def _traced_run(self, model, data, path, workers, numerics=False):
+        from repro.obs import (
+            NULL_TRACER,
+            NumericHealthMonitor,
+            configure_tracing,
+            reset_registry,
+            set_tracer,
+        )
+        registry = reset_registry()
+        monitor = NumericHealthMonitor() if numerics else None
+        tracer = configure_tracing(str(path), registry=registry)
+        try:
+            with GoldenEye(model, "fp16", numerics=monitor) as ge:
+                result = run_campaign(ge, *data, injections_per_layer=5,
+                                      seed=7, workers=workers, resume=False)
+        finally:
+            tracer.close()
+            set_tracer(NULL_TRACER)
+            reset_registry()
+        events = [json.loads(line) for line in open(path, encoding="utf-8")]
+        return result, registry.collect(), events
+
+    @staticmethod
+    def _injection_multiset(events):
+        return sorted(
+            (e["layer"], e["site"], tuple(e["bits"]), e["delta_loss"],
+             e["mismatch_rate"], e.get("sdc_rate"))
+            for e in events if e.get("name") == "campaign.injection")
+
+    @staticmethod
+    def _counter_totals(snapshot, prefix):
+        """Counter values by (name, labels), worker-tagged entries excluded."""
+        out = {}
+        for name, entries in snapshot.items():
+            if not name.startswith(prefix):
+                continue
+            for e in entries:
+                if e["type"] != "counter" or "worker" in e["labels"]:
+                    continue
+                key = (name, tuple(sorted(e["labels"].items())))
+                out[key] = out.get(key, 0.0) + e["value"]
+        return out
+
+    def test_parallel_trace_has_identical_injection_events(self, model, data,
+                                                           tmp_path):
+        result, _, serial_events = self._traced_run(
+            model, data, tmp_path / "serial.jsonl", workers=1)
+        _, _, par_events = self._traced_run(
+            model, data, tmp_path / "par.jsonl", workers=2)
+        serial_injections = self._injection_multiset(serial_events)
+        assert len(serial_injections) == sum(
+            r.injections for r in result.per_layer.values())
+        assert self._injection_multiset(par_events) == serial_injections
+
+    def test_parallel_trace_carries_worker_tagged_spans(self, model, data,
+                                                        tmp_path):
+        result, _, par_events = self._traced_run(
+            model, data, tmp_path / "par.jsonl", workers=2)
+        shard_spans = [e for e in par_events
+                       if e.get("name") == "exec.worker_shard"]
+        assert shard_spans, "worker spans must be replayed into the trace"
+        for span in shard_spans:
+            assert span["type"] == "span"
+            assert "worker_id" in span and span["dur_s"] >= 0
+            assert span["layer"] in result.per_layer
+
+    def test_worker_registry_metrics_reach_parent(self, model, data,
+                                                  tmp_path):
+        _, serial_metrics, _ = self._traced_run(
+            model, data, tmp_path / "serial.jsonl", workers=1)
+        _, par_metrics, _ = self._traced_run(
+            model, data, tmp_path / "par.jsonl", workers=2)
+        # flips happen inside workers; their deltas must fold back exactly
+        serial_flips = self._counter_totals(serial_metrics, "injection.")
+        assert serial_flips and all(v > 0 for v in serial_flips.values())
+        assert self._counter_totals(par_metrics, "injection.") == serial_flips
+        assert self._counter_totals(par_metrics, "campaign.injections_total") \
+            == self._counter_totals(serial_metrics,
+                                    "campaign.injections_total")
+        merges = par_metrics.get("exec.telemetry_merges_total", [])
+        assert merges and merges[0]["value"] > 0
+
+    def test_numeric_health_streams_across_processes(self, model, data,
+                                                     tmp_path):
+        _, serial_metrics, _ = self._traced_run(
+            model, data, tmp_path / "serial.jsonl", workers=1, numerics=True)
+        _, par_metrics, _ = self._traced_run(
+            model, data, tmp_path / "par.jsonl", workers=2, numerics=True)
+        serial_numerics = self._counter_totals(serial_metrics, "numerics.")
+        assert serial_numerics, "monitor must populate numerics.* counters"
+        # resume=False makes conversion counts deterministic: the parallel
+        # merged registry must carry the exact same numeric-health totals
+        assert self._counter_totals(par_metrics, "numerics.") == \
+            serial_numerics
+
+
+# ----------------------------------------------------------------------
 # crash recovery: worker death, interrupt + journal resume
 # ----------------------------------------------------------------------
 def _crash_once(worker_id, shard, attempt):

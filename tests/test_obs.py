@@ -9,6 +9,7 @@ event per injection, resume-cache gauges, CampaignResult.telemetry).
 
 from __future__ import annotations
 
+import csv as csv_mod
 import io
 import json
 import threading
@@ -24,6 +25,7 @@ from repro.core import (
 )
 from repro.models import simple_cnn
 from repro.obs import (
+    BufferingTracer,
     Counter,
     Gauge,
     Histogram,
@@ -33,17 +35,24 @@ from repro.obs import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    build_report,
     configure_tracing,
     export_csv,
     export_json,
     export_prometheus,
     get_registry,
     get_tracer,
+    load_metrics,
+    load_trace_events,
+    merge_metric_delta,
+    render_report,
     reset_registry,
     set_tracer,
+    validate_report,
     write_bench_json,
     write_json,
 )
+from repro.obs.report import REPORT_SCHEMA
 
 
 @pytest.fixture
@@ -477,3 +486,366 @@ class TestPlatformInstrumentation:
         assert nodes is not None and nodes.value >= 1
         assert fresh_global_registry.get("dse.node_seconds",
                                          family="int").count == nodes.value
+
+
+# ----------------------------------------------------------------------
+# NaN guards on the metric primitives
+# ----------------------------------------------------------------------
+class TestNaNGuards:
+    def test_counter_nan_inc_counted_not_accumulated(self, registry):
+        c = registry.counter("c")
+        c.inc(2)
+        c.inc(float("nan"))
+        assert c.value == 2.0
+        assert c.nan_count == 1
+        assert c.snapshot() == {"value": 2.0, "nan_count": 1}
+
+    def test_gauge_set_nan_keeps_previous_state(self, registry):
+        g = registry.gauge("g")
+        g.set(5.0)
+        g.set(float("nan"))
+        assert g.value == 5.0
+        assert g.nan_count == 1
+
+    def test_histogram_observe_nan_never_poisons_stats(self, registry):
+        h = registry.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(float("nan"))
+        assert h.count == 1
+        assert h.sum == 0.5 and h.mean == 0.5
+        assert h.nan_count == 1
+        assert sum(h.bucket_counts) == 1  # NaN landed in no bucket
+
+    def test_nan_count_absent_from_snapshot_when_zero(self, registry):
+        assert "nan_count" not in registry.counter("k").snapshot()
+        assert "nan_count" not in registry.gauge("g").snapshot()
+        assert "nan_count" not in registry.histogram("h").snapshot()
+
+    def test_run_scope_carries_nan_count_deltas(self, registry):
+        h = registry.histogram("h")
+        h.observe(float("nan"))  # before the scope
+        with registry.run_scope("r") as scope:
+            h.observe(float("nan"))
+        entry = scope.delta()["h"][0]
+        assert entry["count"] == 0
+        assert entry["nan_count"] == 1  # the scope's NaN only, not 2
+
+    def test_exports_stay_finite_after_nan_observations(self, registry):
+        registry.histogram("h", buckets=(1.0,)).observe(float("nan"))
+        registry.gauge("g").set(float("nan"))
+        for text in (export_csv(registry), export_prometheus(registry)):
+            assert "nan" not in text.lower().replace("nan_count", "")
+        assert json.dumps(export_json(registry)["metrics"])  # serialisable
+
+
+# ----------------------------------------------------------------------
+# cross-process metric merging (the worker -> supervisor wire format)
+# ----------------------------------------------------------------------
+class TestCrossProcessMerge:
+    def _worker_delta(self):
+        worker = MetricsRegistry()
+        # pre-existing state, as in a forked registry
+        worker.counter("flips", kind="value").inc(7)
+        with worker.run_scope("w0-s0-a1") as scope:
+            worker.counter("flips", kind="value").inc(4)
+            h = worker.histogram("lat", buckets=(0.1, 1.0))
+            h.observe(0.05)
+            h.observe(0.5)
+            worker.gauge("resume.hit_rate").set(0.25)
+        return scope.delta()
+
+    def test_counter_deltas_fold_exactly(self):
+        parent = MetricsRegistry()
+        parent.counter("flips", kind="value").inc(1)
+        merge_metric_delta(self._worker_delta(), parent, worker=3)
+        # parent 1 + worker delta 4 (NOT the worker's absolute 11)
+        assert parent.counter("flips", kind="value").value == 5.0
+
+    def test_histogram_merge_preserves_buckets_and_stats(self):
+        parent = MetricsRegistry()
+        local = parent.histogram("lat", buckets=(0.1, 1.0))
+        local.observe(5.0)  # parent's own observation, +inf bucket
+        merge_metric_delta(self._worker_delta(), parent, worker=3)
+        assert local.count == 3
+        assert local.sum == pytest.approx(5.55)
+        assert local.bucket_counts == [1, 1, 1]
+        assert local.min == 0.05 and local.max == 5.0
+
+    def test_gauges_are_worker_tagged_never_clobbered(self):
+        parent = MetricsRegistry()
+        parent.gauge("resume.hit_rate").set(0.9)
+        merge_metric_delta(self._worker_delta(), parent, worker=3)
+        assert parent.gauge("resume.hit_rate").value == 0.9  # untouched
+        tagged = parent.get("resume.hit_rate", worker="3")
+        assert tagged is not None and tagged.value == 0.25
+
+    def test_unchanged_worker_gauges_not_in_delta(self):
+        worker = MetricsRegistry()
+        worker.gauge("steady").set(1.0)  # inherited state
+        with worker.run_scope("r") as scope:
+            worker.counter("c").inc()
+        delta = scope.delta()
+        assert "steady" not in delta  # no per-worker gauge registry bloat
+        assert "c" in delta
+
+    def test_merge_without_bucket_detail_attributes_to_mean(self):
+        parent = MetricsRegistry()
+        h = parent.histogram("lat", buckets=(0.1, 1.0))
+        merge_metric_delta(
+            {"lat": [{"type": "histogram", "labels": {},
+                      "count": 4, "sum": 2.0}]}, parent)
+        assert h.count == 4 and h.sum == 2.0
+        assert h.bucket_counts[1] == 4  # mean 0.5 <= 1.0
+
+    def test_double_merge_is_additive(self):
+        parent = MetricsRegistry()
+        delta = self._worker_delta()
+        merge_metric_delta(delta, parent, worker=1)
+        merge_metric_delta(delta, parent, worker=2)
+        assert parent.counter("flips", kind="value").value == 8.0
+        assert parent.histogram("lat", buckets=(0.1, 1.0)).count == 4
+
+
+# ----------------------------------------------------------------------
+# worker-side buffering tracer + parent-side foreign replay
+# ----------------------------------------------------------------------
+class TestBufferingTracer:
+    def test_spans_and_events_buffer_then_drain(self):
+        buf = BufferingTracer()
+        assert buf.enabled
+        with buf.span("exec.worker_shard", shard_id=1) as span:
+            span.set(records=2)
+        buf.event("campaign.injection", layer="fc", delta_loss=0.5)
+        events = buf.drain()
+        assert [e["type"] for e in events] == ["span", "event"]
+        assert events[0]["name"] == "exec.worker_shard"
+        assert events[0]["records"] == 2 and events[0]["dur_s"] >= 0
+        assert events[1]["layer"] == "fc"
+        assert buf.drain() == []  # drained
+
+    def test_close_discards_buffer(self):
+        buf = BufferingTracer()
+        buf.event("e")
+        buf.close()
+        assert buf.drain() == []
+
+    def test_emit_foreign_writes_verbatim_without_registry_mirror(
+            self, registry):
+        sink_io = io.StringIO()
+        tracer = Tracer(JsonlSink(sink_io), registry=registry)
+        tracer.emit_foreign({"type": "span", "name": "exec.worker_shard",
+                             "dur_s": 1.0, "worker_id": 2})
+        event = json.loads(sink_io.getvalue())
+        assert event["worker_id"] == 2
+        # the worker's metric delta already carries span timings; foreign
+        # replay must not double-count them into trace.span_seconds
+        assert registry.get("trace.span_seconds",
+                            span="exec.worker_shard") is None
+
+    def test_null_tracer_accepts_foreign_events(self):
+        NULL_TRACER.emit_foreign({"type": "event", "name": "x"})  # no raise
+
+
+# ----------------------------------------------------------------------
+# exporter escaping + parity
+# ----------------------------------------------------------------------
+class TestExporterEscaping:
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path="a\\b", note="line1\nline2").inc()
+        text = export_prometheus(registry)
+        # one TYPE line + one sample line: the newline never splits a sample
+        assert len(text.strip().splitlines()) == 2
+        assert 'note="line1\\nline2"' in text
+        assert 'path="a\\\\b"' in text
+
+    def test_prometheus_escapes_help_text(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="multi\nline \\ help").inc()
+        text = export_prometheus(registry)
+        assert "# HELP c multi\\nline \\\\ help" in text
+        assert len(text.strip().splitlines()) == 3  # HELP + TYPE + sample
+
+
+class TestExporterParity:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("injection.flips_total", kind="value",
+                         location="neuron").inc(5)
+        registry.counter("numerics.saturated_total", layer="fc",
+                         role="neuron").inc(17)
+        registry.gauge("resume.hit_rate").set(0.75)
+        h = registry.histogram("campaign.injection_seconds",
+                               buckets=(0.01, 0.1), layer="fc")
+        for v in (0.005, 0.05, 1.0):
+            h.observe(v)
+        return registry
+
+    def test_json_csv_prometheus_agree_on_every_metric(self):
+        registry = self._registry()
+        metrics = export_json(registry)["metrics"]
+
+        reader = csv_mod.reader(io.StringIO(export_csv(registry)))
+        next(reader)  # header
+        csv_values = {(r[0], r[1], r[3]): float(r[4]) for r in reader}
+
+        prom_samples = {}
+        for line in export_prometheus(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            sample, value = line.rsplit(" ", 1)
+            prom_samples[sample] = float(value)
+
+        checked = 0
+        for name, entries in metrics.items():
+            for snap in entries:
+                labels = snap["labels"]
+                csv_labels = ";".join(
+                    f"{k}={v}" for k, v in sorted(labels.items()))
+                prom_name = name.replace(".", "_")
+                prom_labels = ("{" + ",".join(
+                    f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                    if labels else "")
+                if snap["type"] == "histogram":
+                    assert csv_values[(name, csv_labels, "count")] == snap["count"]
+                    assert csv_values[(name, csv_labels, "sum")] == \
+                        pytest.approx(snap["sum"])
+                    assert prom_samples[f"{prom_name}_count{prom_labels}"] == \
+                        snap["count"]
+                    assert prom_samples[f"{prom_name}_sum{prom_labels}"] == \
+                        pytest.approx(snap["sum"])
+                else:
+                    assert csv_values[(name, csv_labels, "value")] == snap["value"]
+                    assert prom_samples[f"{prom_name}{prom_labels}"] == \
+                        snap["value"]
+                checked += 1
+        assert checked == 4  # every metric in the sample registry
+
+
+# ----------------------------------------------------------------------
+# campaign health reports (repro.obs.report + the `repro report` command)
+# ----------------------------------------------------------------------
+class TestReport:
+    def _artifacts(self):
+        events = [
+            {"type": "event", "name": "campaign.injection", "layer": "fc",
+             "site": 1, "bits": [2], "delta_loss": 0.5, "mismatch_rate": 0.25,
+             "sdc_rate": 0.25, "dur_s": 0.01},
+            {"type": "event", "name": "campaign.injection", "layer": "fc",
+             "site": 9, "bits": [0], "delta_loss": 1.5, "mismatch_rate": 0.75,
+             "sdc_rate": 0.25, "dur_s": 0.01, "worker_id": 1},
+            {"type": "span", "name": "exec.worker_shard", "dur_s": 0.2,
+             "worker_id": 2},
+            {"type": "event", "name": "exec.quarantine", "shard_id": 3,
+             "layer": "fc", "seqs": [1, 2], "reason": "timeout"},
+        ]
+        lbl = {"layer": "fc", "role": "neuron", "format": "fp(e4m3)"}
+        metrics = {
+            "campaign.injections_total": [
+                {"type": "counter",
+                 "labels": {"kind": "value", "location": "neuron"},
+                 "value": 2.0}],
+            "campaign.injections_per_sec": [
+                {"type": "gauge", "labels": {}, "value": 10.0}],
+            "campaign.wall_seconds": [
+                {"type": "gauge", "labels": {}, "value": 0.2}],
+            "injection.flips_total": [
+                {"type": "counter",
+                 "labels": {"kind": "value", "location": "neuron"},
+                 "value": 2.0}],
+            "resume.hits": [{"type": "gauge", "labels": {}, "value": 3.0}],
+            "resume.misses": [{"type": "gauge", "labels": {}, "value": 1.0}],
+            "exec.shards_total": [
+                {"type": "counter", "labels": {}, "value": 4.0}],
+            "exec.telemetry_merges_total": [
+                {"type": "counter", "labels": {}, "value": 4.0}],
+            "numerics.elements_total": [
+                {"type": "counter", "labels": lbl, "value": 100.0}],
+            "numerics.saturated_total": [
+                {"type": "counter", "labels": lbl, "value": 5.0}],
+        }
+        return metrics, events
+
+    def test_build_and_validate(self):
+        metrics, events = self._artifacts()
+        report = build_report(metrics, events)
+        assert validate_report(report)
+        assert report["campaign"]["injections"] == 2
+        assert report["campaign"]["flips_total"] == 2.0
+        assert report["cache"]["hits"] == 3.0
+        assert report["execution"]["telemetry_merges"] == 4.0
+        assert report["workers_seen"] == [1, 2]
+        (row,) = report["layers"]
+        assert row["layer"] == "fc"
+        assert row["injections"] == 2
+        assert row["mean_delta_loss"] == pytest.approx(1.0)
+        assert row["sdc_rate"] == pytest.approx(0.25)
+        assert row["numerics"]["neuron"]["saturation_rate"] == \
+            pytest.approx(0.05)
+        assert len(report["quarantined"]) == 1
+
+    def test_report_from_single_artifact(self):
+        metrics, events = self._artifacts()
+        assert validate_report(build_report(metrics=metrics))
+        trace_only = build_report(events=events)
+        assert validate_report(trace_only)
+        assert trace_only["campaign"]["injections"] == 2  # re-aggregated
+
+    def test_validate_rejects_schema_drift(self):
+        metrics, events = self._artifacts()
+        report = build_report(metrics, events)
+        bad = dict(report, schema="repro.report/v999")
+        with pytest.raises(ValueError, match="schema"):
+            validate_report(bad)
+        missing = dict(report)
+        del missing["layers"]
+        with pytest.raises(ValueError, match="layers"):
+            validate_report(missing)
+        with pytest.raises(ValueError, match="dict"):
+            validate_report([])
+
+    def test_render_markdown_html_json(self):
+        metrics, events = self._artifacts()
+        report = build_report(metrics, events)
+        md = render_report(report, "markdown")
+        assert "# Campaign health report" in md
+        assert "| fc |" in md
+        assert "Quarantined shards" in md
+        html = render_report(report, "html")
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<td>fc</td>" in html
+        loaded = json.loads(render_report(report, "json"))
+        assert loaded["schema"] == REPORT_SCHEMA
+        with pytest.raises(ValueError, match="unknown report format"):
+            render_report(report, "pdf")
+
+    def test_load_artifacts_roundtrip(self, tmp_path):
+        metrics, events = self._artifacts()
+        mpath = tmp_path / "m.json"
+        mpath.write_text(json.dumps({"generated_at": 0, "metrics": metrics}))
+        tpath = tmp_path / "t.jsonl"
+        tpath.write_text("\n".join(json.dumps(e) for e in events)
+                         + '\n{"torn tail')
+        assert load_metrics(str(mpath)) == metrics
+        assert load_trace_events(str(tpath)) == events  # torn tail tolerated
+
+    def test_cli_report_subcommand(self, tmp_path):
+        from repro.cli import main
+        metrics, events = self._artifacts()
+        mpath = tmp_path / "m.json"
+        mpath.write_text(json.dumps({"metrics": metrics}))
+        tpath = tmp_path / "t.jsonl"
+        tpath.write_text("\n".join(json.dumps(e) for e in events))
+        out = tmp_path / "report.json"
+        rc = main(["report", "--from-metrics", str(mpath),
+                   "--from-trace", str(tpath),
+                   "--render", "json", "--out", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["sources"]["metrics"] == str(mpath)
+
+    def test_cli_report_requires_an_artifact(self, capsys):
+        from repro.cli import main
+        assert main(["report"]) == 2
+        assert "--from-metrics" in capsys.readouterr().err
