@@ -1,116 +1,209 @@
-"""Parallel campaign executor: serial vs N-worker throughput and parity.
+"""Parallel campaign executor: scaling curve, shm cache effect and parity.
 
 ``run_campaign(..., workers=N)`` shards the deterministically pre-sampled
-plans across a supervised fork-based worker pool (:mod:`repro.exec`).  Two
-properties are measured here:
+plans across a supervised fork-based worker pool (:mod:`repro.exec`), with
+the golden activation prefix published once over POSIX shared memory and
+records streamed back in batched frames.  Three things are measured here:
 
-* **throughput** — injections/second for serial vs 2- and 4-worker pools on
-  the ResNet18 analogue.  Forked workers inherit the golden pass and the
-  activation cache copy-on-write, so scaling is bounded mainly by the
-  per-injection compute itself; this benchmark records the achieved
-  speedups so the trajectory is diffable per PR (no hard scaling assert —
-  CI machines may be oversubscribed);
-* **parity** — the parallel per-layer statistics must be **bit-identical**
-  to serial execution, which *is* asserted: parallelism must never change
-  the science.
+* **executor scaling** — wall-clock for 1/2/4/8 workers, with and without
+  the shared-memory golden cache, under an *emulated device latency*
+  (``ExecConfig.injection_latency``: the same per-injection sleep applied
+  identically in the serial loop and in every worker).  On a many-core
+  host the raw section below shows real CPU scaling; on a 1-core CI box
+  only the latency-dominated regime can demonstrate executor scaling
+  honestly, so this section is what the CI regression gate reads
+  (``speedup_at_4 >= 1.3`` and monotone through 8 workers);
+* **raw throughput** — CPU-bound injections/second on the ResNet18
+  analogue for the same sweep.  ``cpu_count`` is recorded alongside:
+  with fewer cores than workers these speedups legitimately drop below
+  1.0x (fork + IPC overhead with zero spare parallelism), which is why
+  no gate is attached to this section;
+* **parity** — every run, whatever the pool size, cache mode or journal
+  setting, must be **bit-identical** to serial execution.  That *is*
+  asserted: parallelism must never change the science.
 
-Reported: wall-clock + injections/sec per pool size, the parallel/serial
-speedups, and the write-ahead-journal overhead of the 2-worker run.
+Set ``BENCH_QUICK=1`` to skip the CPU-bound ResNet sweep and shrink the
+latency-emulated sweep — the mode CI's ``parallel-scaling`` job uses for
+its 8-worker smoke run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 
 import pytest
 
 from repro.core import GoldenEye, run_campaign
+from repro.exec import ExecConfig
+from repro.models import simple_mlp
 from repro.obs import write_bench_json
 
 from .conftest import print_block
 
-INJECTIONS_PER_LAYER = 8
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
+POOL_SIZES = (1, 2, 4, 8)
 SPEC = "bfp_e5m5_b16"
-POOL_SIZES = (1, 2, 4)
+
+# raw (CPU-bound) section: the ResNet18 analogue, skipped under BENCH_QUICK
+RAW_INJECTIONS_PER_LAYER = 4
+
+# executor-scaling section: latency-dominated MLP campaign
+EXEC_INJECTIONS_PER_LAYER = 8 if QUICK else 16
+EXEC_LATENCY_S = 0.04 if QUICK else 0.05
+
+
+def _timed_campaign(ge, images, labels, injections_per_layer, seed,
+                    **kwargs):
+    start = time.perf_counter()
+    result = run_campaign(ge, images, labels,
+                          injections_per_layer=injections_per_layer,
+                          seed=seed, **kwargs)
+    wall = time.perf_counter() - start
+    total = sum(r.injections for r in result.per_layer.values())
+    return {"wall_s": wall, "injections": total,
+            "injections_per_sec": total / wall if wall > 0 else 0.0,
+            "result": result}
+
+
+def _assert_bit_identical(serial, run, context):
+    result = run["result"]
+    assert not result.interrupted and not result.quarantined, context
+    assert result.per_layer.keys() == serial.per_layer.keys(), context
+    for layer in serial.per_layer:
+        assert result.per_layer[layer].delta_losses == \
+            serial.per_layer[layer].delta_losses, (context, layer)
+        assert result.per_layer[layer].mismatch_rate == \
+            serial.per_layer[layer].mismatch_rate, (context, layer)
+        assert result.per_layer[layer].sdc_rate == \
+            serial.per_layer[layer].sdc_rate, (context, layer)
+
+
+def _pool_payload(runs, serial_wall):
+    return {
+        str(w): {"wall_s": run["wall_s"],
+                 "injections_per_sec": run["injections_per_sec"],
+                 "speedup_vs_serial": serial_wall / run["wall_s"]}
+        for w, run in runs.items()
+    }
+
+
+def _sweep(ge, images, labels, injections_per_layer, latency):
+    """1/2/4/8-worker sweep with and without the shared golden cache."""
+    runs: dict[int, dict] = {}
+    runs_noshm: dict[int, dict] = {}
+    serial_cfg = ExecConfig(workers=1, injection_latency=latency)
+    runs[1] = _timed_campaign(ge, images, labels, injections_per_layer,
+                              seed=0, exec_config=serial_cfg)
+    for workers in POOL_SIZES[1:]:
+        runs[workers] = _timed_campaign(
+            ge, images, labels, injections_per_layer, seed=0,
+            exec_config=ExecConfig(workers=workers,
+                                   injection_latency=latency))
+        runs_noshm[workers] = _timed_campaign(
+            ge, images, labels, injections_per_layer, seed=0,
+            exec_config=ExecConfig(workers=workers, shared_cache=False,
+                                   injection_latency=latency))
+    serial = runs[1]["result"]
+    for workers, run in runs.items():
+        _assert_bit_identical(serial, run, ("shm", workers))
+    for workers, run in runs_noshm.items():
+        _assert_bit_identical(serial, run, ("noshm", workers))
+    return runs, runs_noshm
+
+
+def _report_sweep(lines, runs, runs_noshm):
+    serial_wall = runs[1]["wall_s"]
+    for workers in POOL_SIZES:
+        run = runs[workers]
+        noshm = runs_noshm.get(workers)
+        extra = (f"   noshm {serial_wall / noshm['wall_s']:.2f}x"
+                 if noshm else "")
+        lines.append(
+            f"  {workers} worker(s)           {run['wall_s'] * 1000:8.1f} ms"
+            f"  {run['injections_per_sec']:8.1f} inj/s"
+            f"  ({serial_wall / run['wall_s']:.2f}x){extra}")
 
 
 @pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
     reason="parallel executor requires the fork start method")
-def test_parallel_campaign_scaling_and_parity(resnet, batch, tmp_path):
-    model, _ = resnet
-    images, labels = batch
+def test_parallel_campaign_scaling_and_parity(request, tmp_path):
+    payload: dict = {"cpu_count": multiprocessing.cpu_count(),
+                     "quick": QUICK}
+    lines = ["Parallel campaign executor: scaling + bit-identical parity",
+             f"  cpu_count             {payload['cpu_count']}"]
+
+    # --- executor scaling: emulated device latency dominates -------------
+    model = simple_mlp(num_classes=4)
     model.eval()
-
-    runs: dict[int, dict] = {}
+    import numpy as np
+    rng = np.random.default_rng(7)
+    images = rng.standard_normal((8, 3, 32, 32)).astype(np.float32)
+    labels = rng.integers(0, 4, size=8)
     with GoldenEye(model, SPEC) as ge:
-        layers = ge.layer_names()
-        for workers in POOL_SIZES:
-            start = time.perf_counter()
-            result = run_campaign(ge, images, labels,
-                                  injections_per_layer=INJECTIONS_PER_LAYER,
-                                  seed=0, workers=workers)
-            wall = time.perf_counter() - start
-            total = sum(r.injections for r in result.per_layer.values())
-            runs[workers] = {
-                "wall_s": wall,
-                "injections": total,
-                "injections_per_sec": total / wall if wall > 0 else 0.0,
-                "result": result,
-            }
+        exec_runs, exec_noshm = _sweep(ge, images, labels,
+                                       EXEC_INJECTIONS_PER_LAYER,
+                                       EXEC_LATENCY_S)
+    serial_wall = exec_runs[1]["wall_s"]
+    walls = [exec_runs[w]["wall_s"] for w in POOL_SIZES]
+    payload["executor_scaling"] = {
+        "model": "simple_mlp",
+        "injection_latency_s": EXEC_LATENCY_S,
+        "injections_per_layer": EXEC_INJECTIONS_PER_LAYER,
+        "injections": exec_runs[1]["injections"],
+        "pools": _pool_payload(exec_runs, serial_wall),
+        "pools_noshm": _pool_payload(exec_noshm, serial_wall),
+        "speedup_at_4": serial_wall / exec_runs[4]["wall_s"],
+        "speedup_at_8": serial_wall / exec_runs[8]["wall_s"],
+        "monotone_to_8": all(a >= b for a, b in zip(walls, walls[1:])),
+    }
+    lines.append(f"  -- executor scaling (emulated device latency "
+                 f"{EXEC_LATENCY_S * 1000:.0f} ms/injection, simple_mlp) --")
+    _report_sweep(lines, exec_runs, exec_noshm)
 
-        # journal overhead: same 2-worker campaign, write-ahead journaled
-        start = time.perf_counter()
-        journaled = run_campaign(ge, images, labels,
-                                 injections_per_layer=INJECTIONS_PER_LAYER,
-                                 seed=0, workers=2,
-                                 journal=str(tmp_path / "bench.jsonl"))
-        t_journal = time.perf_counter() - start
-
-    serial = runs[1]["result"]
-    lines = [
-        "Parallel campaign executor: scaling + bit-identical parity",
-        f"  model                 resnet18 analogue ({SPEC})",
-        f"  layers x inj/layer    {len(layers)} x {INJECTIONS_PER_LAYER}",
-    ]
-    for workers in POOL_SIZES:
-        run = runs[workers]
-        speedup = runs[1]["wall_s"] / run["wall_s"]
+    # --- raw CPU-bound sweep on the ResNet18 analogue ---------------------
+    if not QUICK:
+        resnet_model, _ = request.getfixturevalue("resnet")
+        images, labels = request.getfixturevalue("batch")
+        resnet_model.eval()
+        with GoldenEye(resnet_model, SPEC) as ge:
+            layers = ge.layer_names()
+            raw_runs, raw_noshm = _sweep(ge, images, labels,
+                                         RAW_INJECTIONS_PER_LAYER,
+                                         latency=0.0)
+            # journal overhead: the 2-worker campaign, write-ahead journaled
+            journaled = _timed_campaign(
+                ge, images, labels, RAW_INJECTIONS_PER_LAYER, seed=0,
+                workers=2, journal=str(tmp_path / "bench.jsonl"))
+        _assert_bit_identical(raw_runs[1]["result"], journaled,
+                              ("journaled", 2))
+        journal_overhead = journaled["wall_s"] / raw_runs[2]["wall_s"] - 1.0
+        payload["raw"] = {
+            "model": "resnet18",
+            "layers": len(layers),
+            "injections_per_layer": RAW_INJECTIONS_PER_LAYER,
+            "pools": _pool_payload(raw_runs, raw_runs[1]["wall_s"]),
+            "pools_noshm": _pool_payload(raw_noshm, raw_runs[1]["wall_s"]),
+            "journal_wall_s": journaled["wall_s"],
+            "journal_overhead_frac": journal_overhead,
+        }
+        lines.append(f"  -- raw CPU-bound (resnet18 analogue, "
+                     f"{len(layers)} x {RAW_INJECTIONS_PER_LAYER} "
+                     f"injections) --")
+        _report_sweep(lines, raw_runs, raw_noshm)
         lines.append(
-            f"  {workers} worker(s)           {run['wall_s'] * 1000:8.1f} ms"
-            f"  {run['injections_per_sec']:8.1f} inj/s  ({speedup:.2f}x)")
-    journal_overhead = t_journal / runs[2]["wall_s"] - 1.0
-    lines.append(f"  2 workers + journal   {t_journal * 1000:8.1f} ms  "
-                 f"(journal overhead {journal_overhead:+.1%})")
+            f"  2 workers + journal   {journaled['wall_s'] * 1000:8.1f} ms"
+            f"  (journal overhead {journal_overhead:+.1%})")
+
     print_block("\n".join(lines))
+    write_bench_json("parallel_campaign", payload)
 
-    write_bench_json("parallel_campaign", {
-        "injections_per_layer": INJECTIONS_PER_LAYER,
-        "layers": len(layers),
-        "cpu_count": multiprocessing.cpu_count(),  # interpret speedups!
-        "pools": {
-            str(w): {"wall_s": runs[w]["wall_s"],
-                     "injections_per_sec": runs[w]["injections_per_sec"],
-                     "speedup_vs_serial": runs[1]["wall_s"] / runs[w]["wall_s"]}
-            for w in POOL_SIZES
-        },
-        "journal_wall_s": t_journal,
-        "journal_overhead_frac": journal_overhead,
-    })
-
-    # --- parity: parallelism must never change the science ---------------
-    for workers in POOL_SIZES[1:]:
-        parallel = runs[workers]["result"]
-        assert not parallel.interrupted and not parallel.quarantined
-        assert parallel.per_layer.keys() == serial.per_layer.keys()
-        for layer in serial.per_layer:
-            assert parallel.per_layer[layer].delta_losses == \
-                serial.per_layer[layer].delta_losses, (workers, layer)
-            assert parallel.per_layer[layer].mismatch_rate == \
-                serial.per_layer[layer].mismatch_rate, (workers, layer)
-            assert parallel.per_layer[layer].sdc_rate == \
-                serial.per_layer[layer].sdc_rate, (workers, layer)
-    for layer in serial.per_layer:
-        assert journaled.per_layer[layer].delta_losses == \
-            serial.per_layer[layer].delta_losses, ("journaled", layer)
+    # the acceptance surface the CI gate reads (soft here: report-only on
+    # oversubscribed machines would flake, but the latency-dominated mode
+    # is robust even on one core, so assert it)
+    scaling = payload["executor_scaling"]
+    assert scaling["speedup_at_4"] >= 1.5, scaling
+    assert scaling["monotone_to_8"], scaling

@@ -75,6 +75,8 @@ def profile_resilience(
     workers: int = 1,
     journal: str | None = None,
     shard_timeout: float | None = None,
+    batch_records: int = 32,
+    shared_cache: bool = True,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -92,7 +94,8 @@ def profile_resilience(
     NaN-remap counts and dynamic-range coverage through the formats' stats
     sinks; the campaign telemetry then carries a ``numeric_health`` summary.
 
-    ``workers`` / ``journal`` / ``shard_timeout`` are forwarded to
+    ``workers`` / ``journal`` / ``shard_timeout`` / ``batch_records`` /
+    ``shared_cache`` are forwarded to
     :func:`~repro.core.campaign.run_campaign` (parallel execution and
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
     metadata campaign journals to ``journal + ".metadata"`` so the two
@@ -116,6 +119,7 @@ def profile_resilience(
             platform, images, labels, kind="value", location=location,
             injections_per_layer=injections_per_layer, seed=seed,
             workers=workers, journal=journal, shard_timeout=shard_timeout,
+            batch_records=batch_records, shared_cache=shared_cache,
         )
         fmt = platform.spawn_format()
         metadata_campaign = None
@@ -126,6 +130,7 @@ def profile_resilience(
                 injections_per_layer=injections_per_layer, seed=seed + 1,
                 workers=workers, journal=metadata_journal,
                 shard_timeout=shard_timeout,
+                batch_records=batch_records, shared_cache=shared_cache,
             )
     return ResilienceProfile(
         model_name=model_name,

@@ -207,7 +207,9 @@ def cmd_campaign(args) -> int:
         injections_per_layer=args.injections, location=args.location,
         seed=args.seed, profiler=profiler, numerics=numerics,
         workers=args.workers, journal=args.journal,
-        shard_timeout=args.shard_timeout)
+        shard_timeout=args.shard_timeout,
+        batch_records=args.batch_records,
+        shared_cache=not args.no_shared_cache)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -379,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--shard-timeout", type=float, default=None,
                        help="seconds before a stuck shard attempt is killed "
                             "and retried (then quarantined)")
+    group.add_argument("--batch-records", type=int, default=32,
+                       help="records per worker result message / journal "
+                            "line (flushed early on shard boundaries)")
+    group.add_argument("--no-shared-cache", action="store_true",
+                       help="do not publish the golden activation cache to "
+                            "shared memory; each worker keeps its "
+                            "fork-inherited copy-on-write cache")
     p.add_argument("--numerics", action="store_true",
                    help="attach the numeric-health monitor (per-layer "
                         "quantization error, saturation / flush-to-zero / "

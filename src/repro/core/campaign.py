@@ -375,6 +375,8 @@ def run_campaign(
     journal: str | None = None,
     shard_timeout: float | None = None,
     max_retries: int = 2,
+    batch_records: int = 32,
+    shared_cache: bool = True,
     exec_config=None,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
@@ -404,8 +406,12 @@ def run_campaign(
     shard that keeps timing out or crashing is retried ``max_retries``
     times with exponential backoff and then **quarantined** — reported in
     :attr:`CampaignResult.quarantined` instead of failing the campaign.
-    ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides all three
-    knobs and exposes test hooks.
+    ``batch_records`` sets how many records a worker packs per result
+    message / journal line, and ``shared_cache=False`` disables publishing
+    the golden activation cache to shared memory (each worker then keeps
+    its fork-inherited copy-on-write cache).  ``exec_config`` (a
+    :class:`repro.exec.ExecConfig`) overrides every one of these knobs and
+    exposes test hooks.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
@@ -496,7 +502,9 @@ def run_campaign(
                     from ..exec.supervisor import run_parallel_campaign
                     cfg = exec_config if exec_config is not None else ExecConfig(
                         workers=effective_workers, shard_timeout=shard_timeout,
-                        max_retries=max_retries)
+                        max_retries=max_retries,
+                        batch_records=batch_records,
+                        shared_cache=shared_cache)
                     outcome = run_parallel_campaign(
                         platform, golden, images, target_layers, sampling,
                         kind, location, resume, cfg, journal_obj, records)
@@ -507,7 +515,10 @@ def run_campaign(
                 else:
                     _run_serial(platform, golden, images, target_layers,
                                 sampling, kind, location, resume,
-                                journal_obj, records)
+                                journal_obj, records,
+                                injection_latency=(
+                                    exec_config.injection_latency
+                                    if exec_config is not None else 0.0))
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -599,10 +610,18 @@ def _run_serial(
     use_resume: bool,
     journal_obj,
     records: dict[tuple[str, int], dict],
+    injection_latency: float = 0.0,
 ) -> None:
-    """Execute all outstanding plans in-process, journaling each record."""
+    """Execute all outstanding plans in-process, journaling each record.
+
+    ``injection_latency`` mirrors :attr:`repro.exec.ExecConfig`'s knob of
+    the same name: the emulated per-injection device latency is applied
+    here exactly as in the workers, so serial-vs-parallel comparisons
+    measure orchestration, not an asymmetric handicap.
+    """
     tracer = get_tracer()
     registry = get_registry()
+    latency = float(injection_latency or 0.0)
     for layer in target_layers:
         layer_plan = sampling[layer]
         if not layer_plan.plans:
@@ -621,6 +640,8 @@ def _run_serial(
                 if journal_obj is not None:
                     journal_obj.append_record(record)
                 emit_injection_telemetry(record, kind, location)
+                if latency > 0.0:
+                    time.sleep(latency)
             layer_span.set(performed=performed, retries=layer_plan.retries)
         if use_resume and platform.resume_session is not None:
             # keep the resume gauges live as the campaign progresses

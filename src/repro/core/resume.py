@@ -38,6 +38,19 @@ process that recorded (or adopted) it: a forked worker must call
 :meth:`ResumeSession.adopt` before replaying, which claims the inherited
 cache and zeroes the inherited counters so each worker reports a clean
 per-process delta that the supervisor can aggregate.
+
+Shared-memory adoption
+----------------------
+Copy-on-write sharing still duplicates every page a worker touches, and a
+worker that re-records silently diverges from the parent's golden state.
+When the supervisor publishes the cache through
+:mod:`repro.exec.shmcache`, workers call :meth:`ResumeSession.adopt_shared`
+instead: the private cache is swapped for a
+:class:`SharedActivationCache` — a read-only facade over the shared
+segment with per-process :class:`CacheStats` — and **every write path
+raises** :class:`ReadOnlyCacheError` (``recording()``, ``put``, ``clear``,
+``drop``).  A worker bug that would have silently diverged per-worker
+state now fails loudly.
 """
 
 from __future__ import annotations
@@ -53,8 +66,13 @@ from ..nn.module import COMPUTE, Module
 from ..nn.tensor import Tensor
 from ..obs.telemetry import MetricsRegistry, get_registry
 
-__all__ = ["ActivationCache", "CacheStats", "ResumeSession",
+__all__ = ["ActivationCache", "CacheStats", "ReadOnlyCacheError",
+           "ResumeSession", "SharedActivationCache",
            "DEFAULT_CACHE_BUDGET", "publish_cache_metrics"]
+
+
+class ReadOnlyCacheError(RuntimeError):
+    """A write was attempted against a shared read-only activation cache."""
 
 #: default activation-cache memory budget (bytes)
 DEFAULT_CACHE_BUDGET = 256 * 1024 * 1024
@@ -178,6 +196,73 @@ class ActivationCache:
         self._entries.clear()
         self._bytes = 0
 
+    def entries(self):
+        """Snapshot of ``(key, array)`` pairs in insertion (LRU) order.
+
+        This is the export surface the shared-memory publisher
+        (:func:`repro.exec.shmcache.SharedGoldenCache.publish`) packs into a
+        segment; iteration order does not matter to consumers because every
+        lookup goes through the keyed index.
+        """
+        return list(self._entries.items())
+
+
+class SharedActivationCache:
+    """Read-only :class:`ActivationCache` facade over a shared segment.
+
+    Wraps any provider exposing ``array(key) -> ndarray | None``, ``keys()``,
+    ``nbytes`` and ``__len__`` (in practice
+    :class:`repro.exec.shmcache.SharedGoldenCache`).  Lookups hit the shared
+    pages zero-copy; the :class:`CacheStats` are **per-process** so forked
+    workers keep reporting clean deltas.  Every mutation path raises
+    :class:`ReadOnlyCacheError` — a worker must never be able to silently
+    diverge from the published golden state.
+    """
+
+    #: writes are structurally impossible; exposed for budget introspection
+    budget_bytes = None
+
+    def __init__(self, provider):
+        self._provider = provider
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._provider)
+
+    def __contains__(self, key) -> bool:
+        return self._provider.array(key) is not None
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._provider.nbytes)
+
+    def get(self, key) -> np.ndarray | None:
+        entry = self._provider.array(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # write paths: refuse loudly instead of diverging silently
+    # ------------------------------------------------------------------
+    def _refuse(self, action: str):
+        raise ReadOnlyCacheError(
+            f"cannot {action} a shared read-only activation cache: the "
+            "golden prefix is published once by the supervisor and mapped "
+            "read-only into every worker; re-record in the owning process "
+            "instead")
+
+    def put(self, key, array) -> bool:
+        self._refuse("put into")
+
+    def drop(self, key) -> None:
+        self._refuse("drop from")
+
+    def clear(self) -> None:
+        self._refuse("clear")
+
 
 class ResumeSession:
     """One recorded golden pass over a model, replayable from any layer.
@@ -246,6 +331,28 @@ class ResumeSession:
             self.cache.stats = CacheStats()
         return self
 
+    def adopt_shared(self, provider) -> "ResumeSession":
+        """Adopt this fork-inherited session against a shared golden cache.
+
+        Replaces the inherited private :class:`ActivationCache` with a
+        :class:`SharedActivationCache` over ``provider`` (a
+        :class:`repro.exec.shmcache.SharedGoldenCache` or any object with
+        the same read surface), re-stamps ownership and starts fresh
+        per-process stats.  The recorded execution order stays valid — only
+        the array storage moves to the shared segment.
+
+        After adoption every write path raises :class:`ReadOnlyCacheError`:
+        ``recording()`` (which must clear the cache) and any ``put`` fail
+        loudly instead of silently diverging this worker's golden state
+        from its siblings'.
+        """
+        self.owner_pid = os.getpid()
+        if isinstance(provider, SharedActivationCache):
+            self.cache = provider
+        else:
+            self.cache = SharedActivationCache(provider)
+        return self
+
     def _require_owner(self, action: str) -> None:
         if not self.is_owner:
             raise RuntimeError(
@@ -303,11 +410,16 @@ class ResumeSession:
     # ------------------------------------------------------------------
     @contextlib.contextmanager
     def recording(self):
-        """Scope one golden forward pass; wipes any previous recording."""
+        """Scope one golden forward pass; wipes any previous recording.
+
+        Raises :class:`ReadOnlyCacheError` — before touching any session
+        state — when the session was :meth:`adopt_shared`-ed against a
+        shared read-only cache: workers replay, they never re-record.
+        """
         self._require_owner("record into")
+        self.cache.clear()  # shared read-only caches refuse here
         self.order.clear()
         self._first_index.clear()
-        self.cache.clear()
         self._mode, self._pos = "record", 0
         try:
             yield self

@@ -12,8 +12,14 @@ layer granularity", §IV-C); this package makes them survivable and parallel:
   per-layer / per-chunk work units referencing the deterministically sampled
   plan sequence by ``(layer, seq)``.
 * :mod:`repro.exec.worker` — the fork-based worker loop: adopts the parent's
-  activation cache, streams one message per completed injection (doubling as
-  a heartbeat), and reports failures instead of dying silently.
+  activation cache (the shared-memory copy when one was published), pins its
+  BLAS/OpenMP thread budget, streams completed injections in batched record
+  frames (doubling as heartbeats), and reports failures instead of dying
+  silently.
+* :mod:`repro.exec.shmcache` — read-only shared-memory publication of the
+  golden activation cache: the parent computes the golden prefix once and
+  every worker maps the same physical pages (refcounted, unlink-on-last-close,
+  force-unlinked at supervisor shutdown so ``/dev/shm`` never leaks).
 * :mod:`repro.exec.supervisor` — the supervisor: dispatches shards to a
   worker pool, enforces per-shard timeouts, retries failed shards with
   exponential backoff, **quarantines** poison shards after the retry budget,
@@ -29,8 +35,9 @@ tested against.
 
 from .journal import CampaignJournal, JournalMismatch, campaign_fingerprint
 from .shard import Shard, plan_shards
+from .shmcache import SharedCacheError, SharedGoldenCache, live_segments
 from .supervisor import CampaignSupervisor, ExecConfig, ParallelOutcome, \
-    run_parallel_campaign
+    WorkerPool, run_parallel_campaign
 
 __all__ = [
     "CampaignJournal",
@@ -38,8 +45,12 @@ __all__ = [
     "campaign_fingerprint",
     "Shard",
     "plan_shards",
+    "SharedCacheError",
+    "SharedGoldenCache",
+    "live_segments",
     "ExecConfig",
     "ParallelOutcome",
     "CampaignSupervisor",
+    "WorkerPool",
     "run_parallel_campaign",
 ]

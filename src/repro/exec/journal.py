@@ -14,9 +14,19 @@ File format (one JSON object per line)::
     {"type": "injection", "layer": "conv1", "seq": 0, "site": 17,
      "bits": [3], "delta_loss": 0.25, "mismatch_rate": 0.0,
      "sdc_rate": 0.0, "dur_s": 0.004}
+    {"type": "batch", "n": 2, "records": [{"layer": "conv1", "seq": 1, ...},
+     {"layer": "conv1", "seq": 2, ...}]}
     {"type": "quarantine", "shard_id": 4, "layer": "fc",
      "seqs": [8, 9], "attempts": 3, "reason": "timeout"}
     ...
+
+``injection`` lines carry one record each (the serial executor's
+flush-per-record framing); ``batch`` lines carry a whole worker batch in
+one line with **one** write + flush (the parallel executor's framing —
+see :meth:`CampaignJournal.append_batch`).  Loading treats them
+identically: records fold into the same last-wins ``(layer, seq)`` map in
+file order, so dedup holds across batch boundaries and across mixed
+serial/parallel appends to one journal.
 
 Properties:
 
@@ -26,7 +36,9 @@ Properties:
   raises :class:`JournalMismatch` instead of silently mixing results.
 * **Torn-tail tolerant.**  A process killed mid-``write`` leaves a partial
   final line; loading skips unparseable lines (counting them) rather than
-  failing, so a journal is always resumable after a hard kill.
+  failing, so a journal is always resumable after a hard kill.  A torn
+  **batch** line loses only that batch — every earlier (flushed) line is
+  intact, and a resumed run simply re-executes the lost records.
 * **Append-only / last-wins.**  Resumed runs append to the same file; if a
   ``(layer, seq)`` pair somehow appears twice (e.g. a retried shard raced a
   dying worker), the last record wins.
@@ -126,14 +138,29 @@ def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict], int]:
             if etype == "header" and header is None:
                 header = entry
             elif etype == "injection":
-                try:
-                    key = (str(entry["layer"]), int(entry["seq"]))
-                except (KeyError, TypeError, ValueError):
+                if not _fold_record(records, entry):
+                    corrupt += 1
+            elif etype == "batch":
+                batched = entry.get("records")
+                if not isinstance(batched, list):
                     corrupt += 1
                     continue
-                records[key] = entry
+                for rec in batched:
+                    if not isinstance(rec, dict) \
+                            or not _fold_record(records, rec):
+                        corrupt += 1
             # quarantine (and unknown future) entries are advisory: skipped
     return header, records, corrupt
+
+
+def _fold_record(records: dict, entry: dict) -> bool:
+    """Fold one injection record into the last-wins map; False if malformed."""
+    try:
+        key = (str(entry["layer"]), int(entry["seq"]))
+    except (KeyError, TypeError, ValueError):
+        return False
+    records[key] = entry
+    return True
 
 
 class CampaignJournal:
@@ -146,6 +173,7 @@ class CampaignJournal:
         self.fsync_every = fsync_every
         self._fh = _fh
         self.records_written = 0
+        self.batches_written = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -208,6 +236,27 @@ class CampaignJournal:
         entry["type"] = "injection"
         self._append(entry)
         self.records_written += 1
+
+    def append_batch(self, records) -> None:
+        """Journal a worker batch as one framed line with one flush.
+
+        This is the parallel executor's write path: instead of one
+        write+flush syscall pair per record, a whole batch costs one line.
+        Durability granularity becomes the batch — a kill mid-write tears
+        at most this one line (the loader skips it and a resumed run
+        re-executes those records), while every previously flushed line is
+        untouched.  Empty batches are a no-op.
+        """
+        records = list(records)
+        if not records:
+            return
+        if len(records) == 1:
+            self.append_record(records[0])
+            return
+        self._append({"type": "batch", "n": len(records),
+                      "records": records})
+        self.records_written += len(records)
+        self.batches_written += 1
 
     def append_quarantine(self, info: dict) -> None:
         """Journal an abandoned shard (advisory; resumed runs re-attempt)."""

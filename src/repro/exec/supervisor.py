@@ -7,9 +7,20 @@ workers=N)``:
   split into per-layer chunks (:mod:`repro.exec.shard`) and executed on a
   pool of forked workers; because aggregation folds records in plan order,
   the parallel aggregate is bit-identical to the serial one.
-* **Write-ahead journaling** — every record streamed back by a worker is
-  appended (and flushed) to the journal *before* it can reach aggregation,
-  so no completed injection is ever lost to a crash.
+* **Write-ahead journaling** — every record batch streamed back by a
+  worker is appended (and flushed) to the journal *before* any of its
+  records can reach aggregation, so no accepted injection is ever lost to
+  a crash.  Records travel in batches of ``ExecConfig.batch_records``
+  (flushed early on shard boundaries) and are journaled one framed line
+  per batch — see :meth:`repro.exec.journal.CampaignJournal.append_batch`.
+* **Shared golden cache** — when resume is enabled the golden activation
+  prefix is computed once in the parent and published read-only to the
+  whole pool via :mod:`repro.exec.shmcache`; the segment is refcounted
+  and force-unlinked at shutdown (``exec.shm_publish_total``,
+  ``exec.shm_adopt_total``, ``exec.shm_unlink_total``, ``exec.shm_bytes``).
+* **Per-worker BLAS pinning** — each worker pins its BLAS/OpenMP budget
+  to ``cores // workers`` (floor 1) at fork time so an N-worker pool
+  cannot oversubscribe the host into anti-scaling.
 * **Timeout → retry → quarantine** — a shard attempt that exceeds
   ``shard_timeout`` gets its worker killed (and replaced); the shard is
   retried with exponential backoff up to ``max_retries`` times and then
@@ -47,6 +58,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import queue as _queue
 import signal
 import threading
@@ -57,10 +69,11 @@ from typing import Callable
 from ..obs.telemetry import get_registry, merge_metric_delta
 from ..obs.tracing import get_tracer
 from .shard import Shard, plan_shards
+from .shmcache import SharedCacheError, SharedGoldenCache
 from .worker import WorkerPayload, worker_main
 
 __all__ = ["ExecConfig", "ParallelOutcome", "CampaignSupervisor",
-           "run_parallel_campaign"]
+           "WorkerPool", "run_parallel_campaign"]
 
 logger = logging.getLogger("repro.exec")
 
@@ -81,6 +94,20 @@ class ExecConfig:
     backoff_cap: float = 4.0
     #: plans per shard (None = ~4 shards per worker, see shard.py)
     chunk_size: int | None = None
+    #: records per worker result-queue message; batches are flushed early
+    #: on shard boundaries and before error reports (see exec/worker.py)
+    batch_records: int = 32
+    #: publish the golden activation cache read-only to shared memory so
+    #: the pool replays one physical copy instead of N copy-on-write ones
+    shared_cache: bool = True
+    #: BLAS/OMP threads per worker (None = cores // workers, floor 1),
+    #: pinned at fork time to prevent pool-wide oversubscription
+    blas_threads: int | None = None
+    #: emulated per-injection device latency in seconds, honoured
+    #: identically by the serial and parallel paths (bench/test knob; the
+    #: executor-scaling bench uses it to measure orchestration overhead
+    #: independently of host core count)
+    injection_latency: float = 0.0
     #: result-queue poll granularity (also bounds signal-response latency)
     poll_interval: float = 0.05
     #: grace period for workers to drain the sentinel at clean shutdown
@@ -119,6 +146,89 @@ class _ShardState:
     last_error: str = ""
 
 
+class WorkerPool:
+    """The persistent fork pool behind one campaign.
+
+    Spawned once, before the first shard is dispatched, and kept alive
+    across every layer, shard and retry of the campaign — respawning per
+    shard (or per layer) would re-pay fork plus cache adoption on every
+    dispatch.  Membership changes only when the supervisor kills a
+    timed-out worker or replaces a dead one; the replacement forks from
+    the same payload and rejoins the same queues.
+    """
+
+    def __init__(self, ctx, payload: WorkerPayload, result_queue, registry):
+        self._ctx = ctx
+        self.payload = payload
+        self._result_queue = result_queue
+        self._registry = registry
+        self.processes: dict[int, multiprocessing.Process] = {}
+        #: per-worker task queues: assignment is supervisor-side so the
+        #: worker -> shard mapping survives a worker that dies silently
+        self.task_queues: dict[int, object] = {}
+        self.worker_shard: dict[int, int | None] = {}
+        self.idle: set[int] = set()
+        self.last_seen: dict[int, float] = {}
+        self.clean_exits: set[int] = set()
+        self._next_worker_id = 0
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    def spawn(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self.payload, task_queue, self._result_queue),
+            daemon=True, name=f"repro-exec-worker-{worker_id}")
+        process.start()
+        self.processes[worker_id] = process
+        self.task_queues[worker_id] = task_queue
+        self.worker_shard[worker_id] = None
+        self.idle.add(worker_id)
+        self.last_seen[worker_id] = time.monotonic()
+        self._registry.gauge("exec.workers",
+                             help="live campaign workers"
+                             ).set(float(len(self.processes)))
+        return worker_id
+
+    def send(self, worker_id: int, task) -> None:
+        self.task_queues[worker_id].put(task)
+
+    def release(self, worker_id: int, shard_id: int | None) -> None:
+        """Mark a live worker idle again after it reported done/error."""
+        if worker_id not in self.processes:
+            return  # already killed / reaped
+        if shard_id is None or self.worker_shard.get(worker_id) == shard_id:
+            self.worker_shard[worker_id] = None
+            self.idle.add(worker_id)
+
+    def kill(self, worker_id: int) -> None:
+        process = self.processes.pop(worker_id, None)
+        self.worker_shard.pop(worker_id, None)
+        self.idle.discard(worker_id)
+        task_queue = self.task_queues.pop(worker_id, None)
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stubborn child
+                process.kill()
+                process.join(timeout=2.0)
+        if task_queue is not None:
+            try:
+                task_queue.close()
+                task_queue.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        self._registry.gauge("exec.workers").set(float(len(self.processes)))
+
+    def close(self) -> None:
+        for worker_id in list(self.processes):
+            self.kill(worker_id)
+
+
 class CampaignSupervisor:
     """Drives one parallel campaign over a pool of forked workers."""
 
@@ -143,22 +253,15 @@ class CampaignSupervisor:
         self._backlog: list[int] = []
         #: retry-delayed shards: (due_monotonic, shard_id)
         self._deferred: list[tuple[float, int]] = []
-        self._workers: dict[int, multiprocessing.Process] = {}
-        #: per-worker task queues: assignment is supervisor-side so the
-        #: worker -> shard mapping survives a worker that dies silently
-        self._task_queues: dict[int, object] = {}
-        self._worker_shard: dict[int, int | None] = {}
-        self._idle: set[int] = set()
-        self._last_seen: dict[int, float] = {}
         self._shard_started: dict[int, float] = {}
-        self._clean_exits: set[int] = set()
-        self._next_worker_id = 0
         self._stop = False
         self._stop_reason = ""
         self._ctx = multiprocessing.get_context("fork")
         self._result_queue = self._ctx.Queue()
         self._registry = get_registry()
         self._tracer = get_tracer()
+        self._pool = WorkerPool(self._ctx, payload, self._result_queue,
+                                self._registry)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -174,8 +277,10 @@ class CampaignSupervisor:
         pool_size = min(self.config.workers, total_shards)
         previous_handlers = self._install_signal_handlers()
         try:
+            # the pool is spawned exactly once and persists for the whole
+            # campaign — every layer's shards reuse the same processes
             for _ in range(pool_size):
-                self._spawn_worker()
+                self._pool.spawn()
             for shard_id in sorted(self._states):
                 self._dispatch(self._states[shard_id])
             self._supervise()
@@ -260,13 +365,22 @@ class CampaignSupervisor:
 
     def _handle_message(self, message) -> None:
         mtype, worker_id, body, _ts = message
-        self._last_seen[worker_id] = time.monotonic()
+        self._pool.last_seen[worker_id] = time.monotonic()
         self._registry.counter(
             "exec.heartbeats_total",
             help="worker liveness messages observed by the supervisor").inc()
-        if mtype == "record":
+        if mtype == "records":
+            shard_id, _attempt, records = body
+            self._accept_records(shard_id, records)
+        elif mtype == "record":
+            # legacy single-record framing (pre-batching workers)
             shard_id, _attempt, record = body
-            self._accept_record(shard_id, record)
+            self._accept_records(shard_id, (record,))
+        elif mtype == "ready":
+            if isinstance(body, dict) and body.get("shm_adopted"):
+                self._registry.counter(
+                    "exec.shm_adopt_total",
+                    help="workers that adopted the shared golden cache").inc()
         elif mtype == "start":
             shard_id, attempt = body
             entry = self._inflight.get(shard_id)
@@ -290,10 +404,9 @@ class CampaignSupervisor:
         elif mtype == "telemetry":
             self._merge_worker_telemetry(worker_id, body)
         elif mtype == "exit":
-            self._clean_exits.add(worker_id)
+            self._pool.clean_exits.add(worker_id)
             if body:
                 self.worker_resume_stats.append(dict(body))
-        # "ready" needs no handling beyond the heartbeat
 
     def _merge_worker_telemetry(self, worker_id: int, body: dict) -> None:
         """Adopt one shard attempt's observability payload.
@@ -318,23 +431,39 @@ class CampaignSupervisor:
             "exec.telemetry_merges_total",
             help="worker shard-attempt telemetry payloads merged").inc()
 
-    def _accept_record(self, shard_id: int, record: dict) -> None:
+    def _accept_records(self, shard_id: int, records) -> None:
+        """Fold one worker batch: journal once, then aggregate.
+
+        The whole batch (minus records already held, e.g. stragglers from
+        a killed attempt that raced its retry) is journaled as a single
+        framed line with one flush *before* any record reaches aggregation
+        — the write-ahead invariant is preserved at batch granularity.
+        """
         from ..core.campaign import emit_injection_telemetry
-        key = (record["layer"], record["seq"])
-        if key not in self.records:
-            self.records[key] = record
-            if self.journal is not None:
-                self.journal.append_record(record)
+        fresh = [record for record in records
+                 if (record["layer"], record["seq"]) not in self.records]
+        if fresh and self.journal is not None:
+            self.journal.append_batch(fresh)
+        self._registry.counter(
+            "exec.record_batches_total",
+            help="worker record batches accepted by the supervisor").inc()
+        self._registry.histogram(
+            "exec.batch_size",
+            help="records per accepted worker batch").observe(len(records))
+        for record in fresh:
+            self.records[(record["layer"], record["seq"])] = record
             emit_injection_telemetry(record, self.kind, self.location)
         state = self._states.get(shard_id)
         if state is not None:
-            state.pending.discard(record["seq"])
+            for record in records:
+                state.pending.discard(record["seq"])
             if not state.pending and state.status == "deferred":
-                # a straggler record from a killed attempt completed the
+                # a straggler batch from a killed attempt completed the
                 # shard before its retry fired: cancel the retry
                 self._settle(state, via="straggler")
         if self.config.on_record is not None:
-            self.config.on_record(len(self.records))
+            for _ in records:
+                self.config.on_record(len(self.records))
 
     def _finish_shard(self, shard_id: int, attempt: int, worker_id: int) -> None:
         self._release_worker(worker_id, shard_id)
@@ -385,20 +514,20 @@ class CampaignSupervisor:
 
     def _pump(self) -> None:
         """Assign backlogged shards to idle workers (lowest id first)."""
-        while self._backlog and self._idle:
+        while self._backlog and self._pool.idle:
             shard_id = self._backlog.pop(0)
             state = self._states[shard_id]
             if state.status != "queued":
                 continue
-            worker_id = min(self._idle)
+            worker_id = min(self._pool.idle)
             self._assign(state, worker_id)
 
     def _assign(self, state: _ShardState, worker_id: int) -> None:
         shard_id = state.shard.shard_id
         remaining = state.shard.without(set(state.shard.seqs) - state.pending)
         state.status = "inflight"
-        self._idle.discard(worker_id)
-        self._worker_shard[worker_id] = shard_id
+        self._pool.idle.discard(worker_id)
+        self._pool.worker_shard[worker_id] = shard_id
         # the deadline is armed immediately: it is re-armed (excluding queue
         # wait) when the worker reports "start", but must exist even if the
         # worker never manages to send that message
@@ -406,15 +535,10 @@ class CampaignSupervisor:
                     if self.config.shard_timeout is not None else None)
         self._inflight[shard_id] = (worker_id, deadline, state.attempts)
         self._shard_started.setdefault(shard_id, time.monotonic())
-        self._task_queues[worker_id].put((remaining, state.attempts))
+        self._pool.send(worker_id, (remaining, state.attempts))
 
     def _release_worker(self, worker_id: int, shard_id: int | None) -> None:
-        """Mark a live worker idle again after it reported done/error."""
-        if worker_id not in self._workers:
-            return  # already killed / reaped
-        if shard_id is None or self._worker_shard.get(worker_id) == shard_id:
-            self._worker_shard[worker_id] = None
-            self._idle.add(worker_id)
+        self._pool.release(worker_id, shard_id)
 
     def _promote_deferred(self, now: float) -> None:
         due = [sid for when, sid in self._deferred if when <= now]
@@ -475,46 +599,8 @@ class CampaignSupervisor:
                      reason, len(state.pending))
 
     # ------------------------------------------------------------------
-    # worker pool management
+    # worker pool supervision
     # ------------------------------------------------------------------
-    def _spawn_worker(self) -> int:
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        task_queue = self._ctx.Queue()
-        process = self._ctx.Process(
-            target=worker_main,
-            args=(worker_id, self.payload, task_queue, self._result_queue),
-            daemon=True, name=f"repro-exec-worker-{worker_id}")
-        process.start()
-        self._workers[worker_id] = process
-        self._task_queues[worker_id] = task_queue
-        self._worker_shard[worker_id] = None
-        self._idle.add(worker_id)
-        self._last_seen[worker_id] = time.monotonic()
-        self._registry.gauge("exec.workers",
-                             help="live campaign workers"
-                             ).set(float(len(self._workers)))
-        return worker_id
-
-    def _kill_worker(self, worker_id: int) -> None:
-        process = self._workers.pop(worker_id, None)
-        self._worker_shard.pop(worker_id, None)
-        self._idle.discard(worker_id)
-        task_queue = self._task_queues.pop(worker_id, None)
-        if process is not None and process.is_alive():
-            process.terminate()
-            process.join(timeout=2.0)
-            if process.is_alive():  # pragma: no cover - stubborn child
-                process.kill()
-                process.join(timeout=2.0)
-        if task_queue is not None:
-            try:
-                task_queue.close()
-                task_queue.join_thread()
-            except (OSError, ValueError):  # pragma: no cover - teardown race
-                pass
-        self._registry.gauge("exec.workers").set(float(len(self._workers)))
-
     def _check_timeouts(self, now: float) -> None:
         if self.config.shard_timeout is None:
             return
@@ -529,18 +615,18 @@ class CampaignSupervisor:
             logger.warning("shard %d exceeded its %.2fs timeout; killing "
                            "worker %d", shard_id, self.config.shard_timeout,
                            worker_id)
-            self._kill_worker(worker_id)
+            self._pool.kill(worker_id)
             if self._unsettled() and not self._stop:
-                self._spawn_worker()
+                self._pool.spawn()
             self._fail_shard(shard_id, "timeout")
 
     def _check_worker_deaths(self) -> None:
-        for worker_id, process in list(self._workers.items()):
-            if process.is_alive() or worker_id in self._clean_exits:
+        for worker_id, process in list(self._pool.processes.items()):
+            if process.is_alive() or worker_id in self._pool.clean_exits:
                 continue
             exitcode = process.exitcode
-            shard_id = self._worker_shard.get(worker_id)
-            self._kill_worker(worker_id)
+            shard_id = self._pool.worker_shard.get(worker_id)
+            self._pool.kill(worker_id)
             self.worker_deaths += 1
             self._registry.counter(
                 "exec.worker_deaths_total",
@@ -554,7 +640,7 @@ class CampaignSupervisor:
                 self._fail_shard(shard_id,
                                  f"worker died (exit code {exitcode})")
             if self._unsettled() and not self._stop:
-                self._spawn_worker()
+                self._pool.spawn()
 
     # ------------------------------------------------------------------
     # shutdown
@@ -565,13 +651,12 @@ class CampaignSupervisor:
         if self._stop:
             # interrupted: the journal holds everything completed; workers
             # may be mid-injection — terminate, do not wait
-            for worker_id in list(self._workers):
-                self._kill_worker(worker_id)
+            self._pool.close()
             return
-        live = [wid for wid, proc in self._workers.items()
-                if proc.is_alive() and wid not in self._clean_exits]
+        live = [wid for wid, proc in self._pool.processes.items()
+                if proc.is_alive() and wid not in self._pool.clean_exits]
         for worker_id in live:
-            self._task_queues[worker_id].put(None)
+            self._pool.send(worker_id, None)
         deadline = time.monotonic() + self.config.shutdown_grace
         pending = set(live)
         while pending and time.monotonic() < deadline:
@@ -579,17 +664,15 @@ class CampaignSupervisor:
                 message = self._result_queue.get(timeout=0.1)
             except _queue.Empty:
                 pending = {wid for wid in pending
-                           if self._workers.get(wid) is not None
-                           and self._workers[wid].is_alive()}
+                           if self._pool.processes.get(wid) is not None
+                           and self._pool.processes[wid].is_alive()}
                 continue
             self._handle_message(message)
-            pending -= self._clean_exits
-        for worker_id in list(self._workers):
-            self._kill_worker(worker_id)
+            pending -= self._pool.clean_exits
+        self._pool.close()
 
     def _reap(self) -> None:
-        for worker_id in list(self._workers):
-            self._kill_worker(worker_id)
+        self._pool.close()
         try:
             self._result_queue.close()
             self._result_queue.join_thread()
@@ -624,18 +707,60 @@ def run_parallel_campaign(
                        "running the campaign serially")
         from ..core.campaign import _run_serial
         _run_serial(platform, golden, images, target_layers, sampling,
-                    kind, location, use_resume, journal, completed_records)
+                    kind, location, use_resume, journal, completed_records,
+                    injection_latency=config.injection_latency)
         return ParallelOutcome(records=completed_records)
     shards = plan_shards(sampling, completed=set(completed_records),
                          chunk_size=config.chunk_size, workers=config.workers,
                          layer_order=target_layers)
+    blas_threads = config.blas_threads
+    if blas_threads is None:
+        blas_threads = max(1, (os.cpu_count() or 1) // max(1, config.workers))
+    registry = get_registry()
+    shm = None
+    session = getattr(platform, "resume_session", None)
+    if config.shared_cache and use_resume and session is not None \
+            and hasattr(session.cache, "entries"):
+        entries = session.cache.entries()
+        if entries:
+            try:
+                shm = SharedGoldenCache.publish(entries)
+            except (SharedCacheError, OSError) as exc:
+                # shared memory is an optimization: fall back to the
+                # fork-inherited copy-on-write caches rather than failing
+                logger.warning("could not publish shared golden cache "
+                               "(%s); workers keep private copies", exc)
+            else:
+                registry.counter(
+                    "exec.shm_publish_total",
+                    help="shared golden caches published").inc()
+                registry.gauge(
+                    "exec.shm_bytes",
+                    help="bytes in the published shared golden cache"
+                    ).set(float(shm.nbytes))
     payload = WorkerPayload(platform=platform, golden=golden, images=images,
                             plans={name: lp.plans
                                    for name, lp in sampling.items()},
                             use_resume=use_resume,
+                            batch_records=config.batch_records,
+                            blas_threads=blas_threads,
+                            shm_cache=shm,
+                            injection_latency=config.injection_latency,
                             fault=config.worker_fault)
     supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
                                     kind=kind, location=location)
     supervisor.records = completed_records
-    outcome = supervisor.run()
+    try:
+        outcome = supervisor.run()
+    finally:
+        if shm is not None:
+            # drop the publisher's reference; then force-unlink in case a
+            # SIGKILLed worker left the refcount dangling (idempotent —
+            # /dev/shm must be clean however the campaign ended)
+            shm.release()
+            shm.unlink()
+            registry.counter(
+                "exec.shm_unlink_total",
+                help="shared golden cache segments unlinked").inc()
+            registry.gauge("exec.shm_bytes").set(0.0)
     return outcome

@@ -1,0 +1,182 @@
+"""Differential campaign harness: one seeded campaign, run many ways.
+
+The executor's contract is that *how* a campaign runs — serially, on a
+2- or 4-worker pool, with or without the shared-memory golden cache,
+interrupted and journal-resumed — must never change *what* it computes.
+This module runs the same seeded campaign under each execution mode with
+a fresh metrics registry and a fresh JSONL tracer, and returns a
+:class:`DifferentialOutcome` capturing the three surfaces the contract
+covers:
+
+* ``stats`` — the full per-layer statistical surface (bit-identity, not
+  approximate equality);
+* ``injections`` — the ``campaign.injection`` trace-event multiset
+  (ordering-free: parallel events interleave, but the set of injections
+  with their exact ΔLoss/mismatch/SDC floats must match);
+* ``counters`` — deterministic counter totals (``injection.*`` bit-flip
+  counters and ``campaign.injections_total``), summed across labels and
+  stripped of ``worker`` tags.
+
+For the ``resumed`` mode the campaign is interrupted mid-flight (a real
+SIGINT delivered from the supervisor's ``on_record`` hook) and then
+resumed from its write-ahead journal; the outcome combines both sub-runs
+— journal-skipped records never re-emit events or counters, so the
+*union* must equal a serial run exactly.  ``resumed`` counter totals
+cover ``campaign.injections_total`` only: worker-side flip counters
+stream per shard attempt, and an attempt killed by the interrupt can
+have delivered a record batch whose telemetry message never arrived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+from repro.core import GoldenEye, run_campaign
+from repro.exec import ExecConfig
+
+__all__ = ["MODES", "DifferentialOutcome", "layer_stats",
+           "injection_multiset", "counter_totals", "run_mode"]
+
+#: every execution mode the harness can drive
+MODES = ("serial", "parallel2", "parallel4", "parallel2-noshm", "resumed")
+
+#: counter families that are deterministic under every mode (numerics.*
+#: conversion counts legitimately differ between resume and full re-run)
+DETERMINISTIC_COUNTER_PREFIXES = ("injection.", "campaign.injections_total")
+
+
+class DifferentialOutcome:
+    """One mode's comparable surfaces (plus the raw result for asserts)."""
+
+    def __init__(self, result, stats, injections, counters):
+        self.result = result
+        self.stats = stats
+        self.injections = injections
+        self.counters = counters
+
+
+def layer_stats(result) -> dict:
+    """The full per-layer statistical surface, for bit-identity checks."""
+    return {
+        name: (r.injections, r.delta_losses, r.mean_delta_loss,
+               r.max_delta_loss, r.mismatch_rate, r.sdc_rate)
+        for name, r in result.per_layer.items()
+    }
+
+
+def injection_multiset(events) -> list[tuple]:
+    """Order-free multiset of ``campaign.injection`` events (exact floats)."""
+    return sorted(
+        (e["layer"], e["site"], tuple(e["bits"]), e["delta_loss"],
+         e["mismatch_rate"], e.get("sdc_rate"))
+        for e in events if e.get("name") == "campaign.injection")
+
+
+def counter_totals(snapshot, prefixes=DETERMINISTIC_COUNTER_PREFIXES) -> dict:
+    """Counter values by (name, labels); worker-tagged entries excluded."""
+    out: dict = {}
+    for name, entries in snapshot.items():
+        if not any(name.startswith(p) for p in prefixes):
+            continue
+        for e in entries:
+            if e["type"] != "counter" or "worker" in e["labels"]:
+                continue
+            key = (name, tuple(sorted(e["labels"].items())))
+            out[key] = out.get(key, 0.0) + e["value"]
+    return out
+
+
+def _sum_counters(*totals: dict) -> dict:
+    merged: dict = {}
+    for t in totals:
+        for key, value in t.items():
+            merged[key] = merged.get(key, 0.0) + value
+    return merged
+
+
+class _InterruptAfter:
+    """Parent-side hook: deliver a real SIGINT after N accepted records."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def __call__(self, total_records: int) -> None:
+        if total_records >= self.n:
+            os.kill(os.getpid(), signal.SIGINT)
+
+
+def _traced_campaign(model, format_spec, data, trace_path,
+                     **campaign_kwargs):
+    """One campaign under a fresh registry + tracer; both restored after."""
+    from repro.obs import NULL_TRACER, configure_tracing, reset_registry, \
+        set_tracer
+    registry = reset_registry()
+    tracer = configure_tracing(str(trace_path), registry=registry)
+    try:
+        with GoldenEye(model, format_spec) as ge:
+            result = run_campaign(ge, *data, **campaign_kwargs)
+    finally:
+        tracer.close()
+        set_tracer(NULL_TRACER)
+        reset_registry()
+    with open(trace_path, encoding="utf-8") as fh:
+        events = [json.loads(line) for line in fh]
+    return result, registry.collect(), events
+
+
+def run_mode(mode: str, model, format_spec, data, tmp_path, *,
+             injections_per_layer: int = 5, seed: int = 13,
+             interrupt_after: int = 4) -> DifferentialOutcome:
+    """Run the seeded campaign under ``mode`` and bundle its surfaces.
+
+    Every mode uses the same ``(format_spec, seed, injections_per_layer,
+    data)`` identity, so any observable difference between two returned
+    outcomes is an executor bug, not a campaign difference.
+    """
+    common = dict(kind="value", location="neuron",
+                  injections_per_layer=injections_per_layer, seed=seed)
+    if mode == "serial":
+        result, metrics, events = _traced_campaign(
+            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            workers=1, **common)
+    elif mode == "parallel2":
+        result, metrics, events = _traced_campaign(
+            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            workers=2, **common)
+    elif mode == "parallel4":
+        result, metrics, events = _traced_campaign(
+            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            workers=4, **common)
+    elif mode == "parallel2-noshm":
+        result, metrics, events = _traced_campaign(
+            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            workers=2, shared_cache=False, **common)
+    elif mode == "resumed":
+        journal = str(tmp_path / "resumed.journal.jsonl")
+        cfg = ExecConfig(workers=2,
+                         on_record=_InterruptAfter(interrupt_after))
+        partial, partial_metrics, partial_events = _traced_campaign(
+            model, format_spec, data, tmp_path / "resumed.partial.jsonl",
+            journal=journal, exec_config=cfg, **common)
+        assert partial.interrupted, \
+            "interrupt hook must leave the first run partial"
+        result, resumed_metrics, resumed_events = _traced_campaign(
+            model, format_spec, data, tmp_path / "resumed.final.jsonl",
+            journal=journal, workers=2, **common)
+        assert not result.interrupted
+        assert result.telemetry["journal_skipped"] >= 1
+        events = partial_events + resumed_events
+        # see module docstring: only the parent-side acceptance counter is
+        # exact across an interrupt boundary
+        counters = _sum_counters(
+            counter_totals(partial_metrics, ("campaign.injections_total",)),
+            counter_totals(resumed_metrics, ("campaign.injections_total",)))
+        return DifferentialOutcome(result, layer_stats(result),
+                                   injection_multiset(events), counters)
+    else:
+        raise ValueError(f"unknown differential mode {mode!r}")
+    return DifferentialOutcome(result, layer_stats(result),
+                               injection_multiset(events),
+                               counter_totals(metrics))

@@ -456,3 +456,335 @@ class TestQuarantine:
         events = [json.loads(line) for line in open(journal, encoding="utf-8")]
         quarantines = [e for e in events if e["type"] == "quarantine"]
         assert quarantines and all(q["layer"] == "fc3" for q in quarantines)
+
+
+# ----------------------------------------------------------------------
+# batched journal framing
+# ----------------------------------------------------------------------
+class TestJournalBatch:
+    FP = {"kind": "value", "seed": 0}
+
+    def test_batch_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch([
+                {"layer": "a", "seq": 0, "delta_loss": 0.5},
+                {"layer": "a", "seq": 1, "delta_loss": 0.25},
+            ])
+            assert journal.batches_written == 1
+            assert journal.records_written == 2
+        _, completed, corrupt = load_journal(path)
+        assert corrupt == 0
+        assert completed[("a", 0)]["delta_loss"] == 0.5
+        assert completed[("a", 1)]["delta_loss"] == 0.25
+
+    def test_batch_is_one_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch(
+                [{"layer": "a", "seq": i} for i in range(10)])
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2  # header + one framed batch
+        assert json.loads(lines[1])["n"] == 10
+
+    def test_single_record_batch_degrades_to_injection_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch([{"layer": "a", "seq": 0}])
+            assert journal.batches_written == 0
+            assert journal.records_written == 1
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(lines[1])["type"] == "injection"
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch([])
+            assert journal.records_written == 0
+        assert len(path.read_text(encoding="utf-8").splitlines()) == 1
+
+    def test_torn_batch_loses_only_that_batch(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch([{"layer": "a", "seq": 0},
+                                  {"layer": "a", "seq": 1}])
+        intact = path.stat().st_size
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "batch", "n": 2, "records": [{"layer": "a", '
+                     '"seq": 2}, {"layer": "a", "se')
+        header, completed, corrupt = load_journal(path)
+        assert header is not None and corrupt == 1
+        assert set(completed) == {("a", 0), ("a", 1)}
+        # and the journal file can still be resumed from
+        with open(path, "r+b") as fh:
+            fh.truncate(intact)
+        journal2, completed2 = CampaignJournal.open(path, self.FP)
+        journal2.close()
+        assert set(completed2) == {("a", 0), ("a", 1)}
+
+    def test_last_wins_across_batch_boundaries(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal.open(path, self.FP)[0] as journal:
+            journal.append_batch([{"layer": "a", "seq": 0, "delta_loss": 1.0},
+                                  {"layer": "a", "seq": 1, "delta_loss": 9.0}])
+            journal.append_record({"layer": "a", "seq": 0, "delta_loss": 2.0})
+            journal.append_batch([{"layer": "a", "seq": 0, "delta_loss": 3.0},
+                                  {"layer": "b", "seq": 0, "delta_loss": 4.0}])
+        _, completed, _ = load_journal(path)
+        assert completed[("a", 0)]["delta_loss"] == 3.0
+        assert completed[("a", 1)]["delta_loss"] == 9.0
+        assert completed[("b", 0)]["delta_loss"] == 4.0
+
+    def test_malformed_batch_payload_counts_corrupt(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal.open(path, self.FP)[0].close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "batch", "n": 1, "records": "nope"}\n')
+            fh.write('{"type": "batch", "n": 1, "records": [42]}\n')
+        _, completed, corrupt = load_journal(path)
+        assert completed == {} and corrupt == 2
+
+
+# ----------------------------------------------------------------------
+# property tests: arbitrary batches, torn tails at any byte offset
+# ----------------------------------------------------------------------
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_record_st = st.fixed_dictionaries({
+    "layer": st.sampled_from(["a", "b", "c"]),
+    "seq": st.integers(min_value=0, max_value=15),
+    "site": st.integers(min_value=0, max_value=10_000),
+    "bits": st.lists(st.integers(min_value=0, max_value=31), max_size=3),
+    "delta_loss": st.floats(allow_nan=False, allow_infinity=False),
+})
+
+_batches_st = st.lists(
+    st.lists(_record_st, min_size=1, max_size=6), min_size=1, max_size=6)
+
+
+def _strip_type(record):
+    return {k: v for k, v in record.items() if k != "type"}
+
+
+def _fold_last_wins(batches):
+    expected = {}
+    for batch in batches:
+        for rec in batch:
+            expected[(rec["layer"], rec["seq"])] = rec
+    return expected
+
+
+class TestJournalBatchProperties:
+    FP = {"kind": "value", "seed": 0}
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=_batches_st)
+    def test_arbitrary_batches_round_trip(self, batches):
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "j.jsonl"
+            with CampaignJournal.open(path, self.FP)[0] as journal:
+                for batch in batches:
+                    journal.append_batch(batch)
+            _, loaded, corrupt = load_journal(path)
+        assert corrupt == 0
+        assert {k: _strip_type(v) for k, v in loaded.items()} \
+            == _fold_last_wins(batches)
+
+    @settings(max_examples=40, deadline=None)
+    @given(batches=_batches_st, data=st.data())
+    def test_torn_tail_at_any_byte_offset(self, batches, data):
+        """Kill the writer at *any* byte: every fully flushed line must
+        survive, the torn line (if any) must be the only casualty."""
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "j.jsonl"
+            journal, _ = CampaignJournal.open(path, self.FP)
+            journal.flush()
+            checkpoints = [(path.stat().st_size, None)]  # after the header
+            for batch in batches:
+                journal.append_batch(batch)
+                checkpoints.append((path.stat().st_size, batch))
+            journal.close()
+            total = path.stat().st_size
+            # the header length varies run to run (timestamp width), so the
+            # draw must use fixed bounds mapped onto the byte range — bounds
+            # derived from file sizes would make replays flaky
+            span = total - checkpoints[0][0]
+            cut = checkpoints[0][0] + \
+                data.draw(st.integers(min_value=0, max_value=10 ** 6),
+                          label="cut") % (span + 1)
+            with open(path, "r+b") as fh:
+                fh.truncate(cut)
+            header, loaded, corrupt = load_journal(path)
+        assert header is not None  # the cut is always past the header
+        # a line survives exactly when every byte up to its closing '}' is
+        # present: losing only the trailing newline still parses (end - 1),
+        # losing anything more tears the JSON document
+        surviving = [batch for end, batch in checkpoints[1:] if end - 1 <= cut]
+        assert {k: _strip_type(v) for k, v in loaded.items()} \
+            == _fold_last_wins(surviving)
+        assert corrupt <= 1  # at most the single torn line
+
+    @settings(max_examples=25, deadline=None)
+    @given(values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False),
+        min_size=2, max_size=6))
+    def test_rewrites_of_one_seq_keep_the_last(self, values):
+        import tempfile
+        from pathlib import Path
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "j.jsonl"
+            with CampaignJournal.open(path, self.FP)[0] as journal:
+                for i, value in enumerate(values):
+                    # alternate framings: dedup must hold across both
+                    batch = [{"layer": "x", "seq": 0, "delta_loss": value},
+                             {"layer": "pad", "seq": i, "delta_loss": 0.0}]
+                    if i % 2:
+                        journal.append_batch(batch)
+                    else:
+                        for rec in batch:
+                            journal.append_record(rec)
+            _, loaded, corrupt = load_journal(path)
+        assert corrupt == 0
+        got = loaded[("x", 0)]["delta_loss"]
+        assert got == values[-1] or (got == 0.0 and values[-1] == 0.0)
+
+
+# ----------------------------------------------------------------------
+# the shared-memory golden cache
+# ----------------------------------------------------------------------
+from repro.exec import SharedCacheError, SharedGoldenCache, live_segments  # noqa: E402
+
+
+class TestSharedGoldenCacheUnit:
+    def _entries(self):
+        return [(0, np.arange(12, dtype=np.float32).reshape(3, 4)),
+                (1, np.linspace(-1.0, 1.0, 7)),
+                (2, np.array([[True, False]]))]
+
+    def test_publish_attach_round_trip(self):
+        entries = self._entries()
+        cache = SharedGoldenCache.publish(entries)
+        try:
+            assert len(cache) == 3 and 0 in cache and "1" in cache
+            other = SharedGoldenCache.attach(cache.name)
+            for key, arr in entries:
+                np.testing.assert_array_equal(other.array(key), arr)
+                assert other.array(key).dtype == arr.dtype
+            assert other.array("missing") is None
+            other.close()
+        finally:
+            cache.release()
+        assert cache.name not in live_segments()
+
+    def test_views_are_read_only(self):
+        cache = SharedGoldenCache.publish(self._entries())
+        try:
+            view = cache.array(0)
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 99.0
+        finally:
+            cache.release()
+
+    def test_refcount_unlinks_on_last_release(self):
+        cache = SharedGoldenCache.publish(self._entries())
+        name = cache.name
+        cache.acquire()  # a second holder (as a forked worker would)
+        assert cache.release() is False  # first holder out: segment lives
+        assert name in live_segments()
+        assert cache.release() is True  # last holder unlinks
+        assert name not in live_segments()
+
+    def test_publish_empty_raises(self):
+        with pytest.raises(SharedCacheError, match="empty"):
+            SharedGoldenCache.publish([])
+
+    def test_acquire_after_full_release_raises(self):
+        cache = SharedGoldenCache.publish(self._entries())
+        cache.release()
+        with pytest.raises(SharedCacheError, match="released"):
+            cache.acquire()
+
+    def test_by_name_attachment_cannot_acquire(self):
+        cache = SharedGoldenCache.publish(self._entries())
+        try:
+            other = SharedGoldenCache.attach(cache.name)
+            with pytest.raises(SharedCacheError, match="by-name"):
+                other.acquire()
+            other.close()
+        finally:
+            cache.release()
+
+    def test_force_unlink_is_idempotent(self):
+        cache = SharedGoldenCache.publish(self._entries())
+        assert cache.unlink() is True
+        assert cache.unlink() is False  # second call: already gone
+        cache.close()
+        assert cache.name not in live_segments()
+
+
+def _sigkill_first_shard(worker_id, shard, attempt):
+    """Worker fault hook: SIGKILL the first worker to run shard 0."""
+    if shard.shard_id == 0 and attempt == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@needs_fork
+class TestSharedCacheCampaign:
+    def test_campaign_unlinks_all_segments(self, model, data):
+        before = live_segments()
+        with GoldenEye(model, "fp16") as ge:
+            par = run_campaign(ge, *data, injections_per_layer=4, seed=3,
+                               workers=2)
+        assert not par.quarantined
+        assert live_segments() == before  # no /dev/shm leak
+
+    def test_shm_telemetry_counters(self, model, data):
+        from repro.obs import get_registry
+        registry = get_registry()
+        publish0 = registry.counter("exec.shm_publish_total").value
+        adopt0 = registry.counter("exec.shm_adopt_total").value
+        unlink0 = registry.counter("exec.shm_unlink_total").value
+        with GoldenEye(model, "fp16") as ge:
+            run_campaign(ge, *data, injections_per_layer=4, seed=3, workers=2)
+        assert registry.counter("exec.shm_publish_total").value == publish0 + 1
+        assert registry.counter("exec.shm_unlink_total").value == unlink0 + 1
+        assert registry.counter("exec.shm_adopt_total").value >= adopt0 + 1
+
+    def test_sigkilled_worker_leaves_no_leak_and_same_aggregate(self, model,
+                                                                data):
+        before = live_segments()
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=6, seed=5)
+            cfg = ExecConfig(workers=2, shard_timeout=60.0, max_retries=2,
+                             backoff_base=0.02,
+                             worker_fault=_sigkill_first_shard,
+                             install_signal_handlers=False)
+            par = run_campaign(ge, *data, injections_per_layer=6, seed=5,
+                               exec_config=cfg)
+        assert not par.interrupted and not par.quarantined
+        assert layer_stats(par) == layer_stats(serial)
+        # the SIGKILLed worker never released its reference; the supervisor's
+        # force-unlink must still leave /dev/shm clean
+        assert live_segments() == before
+
+    def test_disabling_shared_cache_is_bit_identical(self, model, data):
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=5, seed=8)
+            par = run_campaign(ge, *data, injections_per_layer=5, seed=8,
+                               workers=2, shared_cache=False)
+        assert layer_stats(par) == layer_stats(serial)
+
+    def test_batch_records_one_is_per_record_framing(self, model, data):
+        """The batching knob at its floor degenerates to the old protocol
+        and must still be bit-identical."""
+        with GoldenEye(model, "fp16") as ge:
+            serial = run_campaign(ge, *data, injections_per_layer=5, seed=4)
+            par = run_campaign(ge, *data, injections_per_layer=5, seed=4,
+                               workers=2, batch_records=1)
+        assert layer_stats(par) == layer_stats(serial)

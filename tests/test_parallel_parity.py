@@ -1,0 +1,88 @@
+"""Differential lockdown of the parallel executor (see tests/differential.py).
+
+One seeded campaign per format family is executed serial, parallel (2 and
+4 workers), parallel without the shared-memory golden cache, and
+interrupted-then-journal-resumed — and every mode must reproduce the
+serial run exactly: bit-identical per-layer statistics, an identical
+``campaign.injection`` trace-event multiset, and identical deterministic
+counter totals.  Three format families keep the executor honest across
+very different numerics: plain floating point (``fp16``), integer
+quantization (``int8``) and block floating point (``bfp_e5m5_b16``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from tests.differential import MODES, run_mode
+from repro.models import simple_mlp
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires the fork start method")
+
+FORMATS = ("fp16", "int8", "bfp_e5m5_b16")
+INJECTIONS = 5
+SEED = 13
+
+
+def _make_data():
+    rng = np.random.default_rng(77)
+    return (rng.standard_normal((4, 3, 32, 32)).astype(np.float32),
+            rng.integers(0, 4, size=4))
+
+
+@pytest.fixture(scope="module")
+def baselines(tmp_path_factory):
+    """Per-format (model, data, serial outcome) triples, computed once."""
+    out = {}
+    for spec in FORMATS:
+        model = simple_mlp(num_classes=4)
+        model.eval()
+        data = _make_data()
+        serial = run_mode("serial", model, spec, data,
+                          tmp_path_factory.mktemp(f"serial-{spec}"),
+                          injections_per_layer=INJECTIONS, seed=SEED)
+        out[spec] = (model, data, serial)
+    return out
+
+
+@needs_fork
+@pytest.mark.parametrize("spec", FORMATS)
+@pytest.mark.parametrize("mode", [m for m in MODES if m != "serial"])
+class TestDifferentialParity:
+    def test_mode_reproduces_serial_exactly(self, mode, spec, baselines,
+                                            tmp_path):
+        model, data, serial = baselines[spec]
+        out = run_mode(mode, model, spec, data, tmp_path,
+                       injections_per_layer=INJECTIONS, seed=SEED)
+        assert not out.result.quarantined
+        assert not out.result.interrupted
+        # surface 1: per-layer statistics, bit for bit
+        assert out.stats == serial.stats
+        # surface 2: the campaign.injection event multiset (exact floats)
+        assert out.injections == serial.injections
+        assert len(out.injections) == sum(
+            r.injections for r in serial.result.per_layer.values())
+        # surface 3: deterministic counter totals.  Across an interrupt
+        # boundary only the parent-side acceptance counter is exact (see
+        # tests/differential.py), so the resumed mode compares that subset.
+        if mode == "resumed":
+            expected = {key: value for key, value in serial.counters.items()
+                        if key[0] == "campaign.injections_total"}
+        else:
+            expected = serial.counters
+        assert out.counters == expected
+
+
+@pytest.mark.parametrize("spec", FORMATS)
+def test_serial_baseline_is_self_consistent(spec, baselines):
+    """The baseline itself: events and stats agree on the injection count."""
+    _, _, serial = baselines[spec]
+    total = sum(r.injections for r in serial.result.per_layer.values())
+    assert total == INJECTIONS * len(serial.result.per_layer)
+    assert len(serial.injections) == total
+    assert serial.counters, "deterministic counters must be populated"

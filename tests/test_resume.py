@@ -372,3 +372,88 @@ class TestSessionOwnership:
         session.cache.stats.hits = 7
         session.adopt()  # already the owner: stats must be preserved
         assert session.stats.hits == 7
+
+
+# ----------------------------------------------------------------------
+# shared read-only cache adoption (exec/shmcache integration)
+# ----------------------------------------------------------------------
+class TestSharedAdoption:
+    """`adopt_shared` swaps the private cache for the published read-only
+    segment: replay must stay bit-exact while every write path raises
+    instead of silently diverging a worker from its siblings."""
+
+    def _published_session(self, cnn, batch):
+        from repro.exec import SharedGoldenCache
+        from repro.nn import Tensor
+
+        session = ResumeSession(cnn)
+        with session.recording():
+            full = cnn.forward_from(session, Tensor(batch[0]))
+        shm = SharedGoldenCache.publish(session.cache.entries())
+        return session, shm, full
+
+    def test_adopt_shared_replays_bit_exact(self, cnn, batch):
+        from repro.nn import Tensor
+
+        session, shm, full = self._published_session(cnn, batch)
+        try:
+            session.adopt_shared(shm)
+            assert session.is_owner and session.recorded
+            start = session.start_index_for(cnn.fc)
+            with session.replaying(start):
+                resumed = cnn.forward_from(session, Tensor(batch[0]))
+            np.testing.assert_array_equal(full.data, resumed.data)
+            assert session.stats.replayed > 0
+            assert session.stats.hits > 0  # served from the shared pages
+        finally:
+            shm.release()
+
+    def test_adopted_cache_refuses_writes(self, cnn, batch):
+        from repro.core.resume import ReadOnlyCacheError
+
+        session, shm, _ = self._published_session(cnn, batch)
+        try:
+            session.adopt_shared(shm)
+            with pytest.raises(ReadOnlyCacheError, match="read-only"):
+                session.cache.put(0, np.zeros(3))
+            with pytest.raises(ReadOnlyCacheError, match="read-only"):
+                session.cache.drop(0)
+            with pytest.raises(ReadOnlyCacheError, match="read-only"):
+                session.cache.clear()
+        finally:
+            shm.release()
+
+    def test_recording_refusal_leaves_session_intact(self, cnn, batch):
+        """The regression of ISSUE 6: re-recording over a shared cache must
+        raise *before* touching any session state, not corrupt it."""
+        from repro.core.resume import ReadOnlyCacheError
+        from repro.nn import Tensor
+
+        session, shm, full = self._published_session(cnn, batch)
+        try:
+            session.adopt_shared(shm)
+            order_before = list(session.order)
+            with pytest.raises(ReadOnlyCacheError, match="read-only"):
+                with session.recording():
+                    pass  # pragma: no cover - never reached
+            # the refusal must not have wiped the recorded pass
+            assert session.order == order_before
+            assert session.recorded
+            start = session.start_index_for(cnn.fc)
+            with session.replaying(start):
+                resumed = cnn.forward_from(session, Tensor(batch[0]))
+            np.testing.assert_array_equal(full.data, resumed.data)
+        finally:
+            shm.release()
+
+    def test_shared_views_are_immutable(self, cnn, batch):
+        session, shm, _ = self._published_session(cnn, batch)
+        try:
+            session.adopt_shared(shm)
+            start = session.start_index_for(cnn.fc)
+            view = session.cache.get(start)
+            assert view is not None and not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[...] = 0.0
+        finally:
+            shm.release()
