@@ -77,6 +77,7 @@ def profile_resilience(
     shard_timeout: float | None = None,
     batch_records: int = 32,
     shared_cache: bool = True,
+    fault_batch: int = 1,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -95,7 +96,7 @@ def profile_resilience(
     sinks; the campaign telemetry then carries a ``numeric_health`` summary.
 
     ``workers`` / ``journal`` / ``shard_timeout`` / ``batch_records`` /
-    ``shared_cache`` are forwarded to
+    ``shared_cache`` / ``fault_batch`` are forwarded to
     :func:`~repro.core.campaign.run_campaign` (parallel execution and
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
     metadata campaign journals to ``journal + ".metadata"`` so the two
@@ -120,6 +121,7 @@ def profile_resilience(
             injections_per_layer=injections_per_layer, seed=seed,
             workers=workers, journal=journal, shard_timeout=shard_timeout,
             batch_records=batch_records, shared_cache=shared_cache,
+            fault_batch=fault_batch,
         )
         fmt = platform.spawn_format()
         metadata_campaign = None
@@ -131,6 +133,7 @@ def profile_resilience(
                 workers=workers, journal=metadata_journal,
                 shard_timeout=shard_timeout,
                 batch_records=batch_records, shared_cache=shared_cache,
+                fault_batch=fault_batch,
             )
     return ResilienceProfile(
         model_name=model_name,

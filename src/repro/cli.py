@@ -209,7 +209,8 @@ def cmd_campaign(args) -> int:
         workers=args.workers, journal=args.journal,
         shard_timeout=args.shard_timeout,
         batch_records=args.batch_records,
-        shared_cache=not args.no_shared_cache)
+        shared_cache=not args.no_shared_cache,
+        fault_batch=args.fault_batch)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -388,6 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not publish the golden activation cache to "
                             "shared memory; each worker keeps its "
                             "fork-inherited copy-on-write cache")
+    group.add_argument("--fault-batch", type=int, default=1,
+                       help="independent neuron-value faults evaluated per "
+                            "forward pass (fault-axis batching); records "
+                            "stay bit-identical to --fault-batch 1")
     p.add_argument("--numerics", action="store_true",
                    help="attach the numeric-health monitor (per-layer "
                         "quantization error, saturation / flush-to-zero / "

@@ -286,6 +286,7 @@ def execute_injection(
             faulty = golden_inference(platform, images, golden.labels)
     metrics = compare_outcomes(golden, faulty)
     return {
+        "kind": plan_kind(plan),
         "site": plan_site(plan),
         "bits": list(plan.bits),
         "delta_loss": float(metrics["delta_loss"]),
@@ -295,8 +296,77 @@ def execute_injection(
     }
 
 
+def plan_kind(plan) -> str:
+    """The injection kind of a plan (``"value"`` or ``"metadata"``)."""
+    return "value" if isinstance(plan, ValueInjection) else "metadata"
+
+
+def plans_can_batch(plans) -> bool:
+    """True when ``plans`` may share one fault-axis batched forward pass.
+
+    Batching tiles the evaluation batch K times and corrupts one replica
+    lane per plan, so it applies only to same-layer neuron *value* plans —
+    metadata and weight corruptions perturb state shared across the whole
+    pass and must execute one at a time.
+    """
+    if not plans:
+        return False
+    first = plans[0]
+    return all(isinstance(p, ValueInjection) and p.location == "neuron"
+               and p.layer == first.layer for p in plans)
+
+
+def execute_injection_batch(
+    platform: GoldenEye,
+    golden: InferenceOutcome,
+    images: np.ndarray,
+    plans,
+    use_resume: bool,
+) -> list[dict]:
+    """Run K independent injections in one batched pass; K per-plan records.
+
+    Record ``k`` is bit-identical to :func:`execute_injection` for
+    ``plans[k]`` (the batched forward is lane-exact — see
+    :meth:`repro.core.goldeneye.GoldenEye.forward_from_batched`) except for
+    ``dur_s``, which amortizes the shared forward across the K plans.
+    Falls back to the sequential per-plan loop when the plans cannot share
+    a pass (metadata/weight plans, mixed layers) or when K == 1.
+    """
+    plans = list(plans)
+    if len(plans) == 1 or not plans_can_batch(plans):
+        return [execute_injection(platform, golden, images, plan, use_resume)
+                for plan in plans]
+    t_batch = time.perf_counter()
+    lane_logits = platform.forward_from_batched(plans[0].layer, plans, images)
+    dur = (time.perf_counter() - t_batch) / len(plans)
+    out = []
+    for k, plan in enumerate(plans):
+        faulty = InferenceOutcome(logits=lane_logits[k], labels=golden.labels)
+        metrics = compare_outcomes(golden, faulty)
+        out.append({
+            "kind": plan_kind(plan),
+            "site": plan_site(plan),
+            "bits": list(plan.bits),
+            "delta_loss": float(metrics["delta_loss"]),
+            "mismatch_rate": float(metrics["mismatch_rate"]),
+            "sdc_rate": float(metrics["sdc_rate"]),
+            "dur_s": dur,
+        })
+    return out
+
+
 def record_matches_plan(record: dict, plan) -> bool:
-    """True when a journaled record was produced by exactly this plan."""
+    """True when a journaled record was produced by exactly this plan.
+
+    ``layer`` and plan ``kind`` participate in the match: ``site`` + ``bits``
+    alone can alias across layers (or across value/metadata campaigns that
+    share a journal path), silently adopting a foreign record on resume.
+    Records predating the ``kind`` field are matched on the remaining keys.
+    """
+    if "layer" in record and record["layer"] != plan.layer:
+        return False
+    if "kind" in record and record["kind"] != plan_kind(plan):
+        return False
     return (record.get("site") == plan_site(plan)
             and list(record.get("bits", ())) == list(plan.bits))
 
@@ -377,6 +447,7 @@ def run_campaign(
     max_retries: int = 2,
     batch_records: int = 32,
     shared_cache: bool = True,
+    fault_batch: int = 1,
     exec_config=None,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
@@ -409,9 +480,12 @@ def run_campaign(
     ``batch_records`` sets how many records a worker packs per result
     message / journal line, and ``shared_cache=False`` disables publishing
     the golden activation cache to shared memory (each worker then keeps
-    its fork-inherited copy-on-write cache).  ``exec_config`` (a
-    :class:`repro.exec.ExecConfig`) overrides every one of these knobs and
-    exposes test hooks.
+    its fork-inherited copy-on-write cache).  ``fault_batch=K`` evaluates K
+    independent neuron-value injections per forward pass (fault-axis
+    batching, see :func:`execute_injection_batch`) — per-plan records, seq
+    ordering, journal framing and telemetry stay bit-identical to K=1.
+    ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides every one
+    of these knobs and exposes test hooks.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
@@ -504,7 +578,8 @@ def run_campaign(
                         workers=effective_workers, shard_timeout=shard_timeout,
                         max_retries=max_retries,
                         batch_records=batch_records,
-                        shared_cache=shared_cache)
+                        shared_cache=shared_cache,
+                        fault_batch=fault_batch)
                     outcome = run_parallel_campaign(
                         platform, golden, images, target_layers, sampling,
                         kind, location, resume, cfg, journal_obj, records)
@@ -518,7 +593,11 @@ def run_campaign(
                                 journal_obj, records,
                                 injection_latency=(
                                     exec_config.injection_latency
-                                    if exec_config is not None else 0.0))
+                                    if exec_config is not None else 0.0),
+                                fault_batch=(
+                                    exec_config.fault_batch
+                                    if exec_config is not None
+                                    else fault_batch))
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -611,35 +690,44 @@ def _run_serial(
     journal_obj,
     records: dict[tuple[str, int], dict],
     injection_latency: float = 0.0,
+    fault_batch: int = 1,
 ) -> None:
     """Execute all outstanding plans in-process, journaling each record.
 
     ``injection_latency`` mirrors :attr:`repro.exec.ExecConfig`'s knob of
     the same name: the emulated per-injection device latency is applied
     here exactly as in the workers, so serial-vs-parallel comparisons
-    measure orchestration, not an asymmetric handicap.
+    measure orchestration, not an asymmetric handicap.  ``fault_batch=K``
+    chunks each layer's outstanding plans into fault-axis batched forwards
+    (one emulated device round-trip per chunk); records, journal lines and
+    telemetry are still emitted one per plan, in seq order.
     """
     tracer = get_tracer()
     registry = get_registry()
     latency = float(injection_latency or 0.0)
+    chunk = max(1, int(fault_batch))
     for layer in target_layers:
         layer_plan = sampling[layer]
         if not layer_plan.plans:
             continue
         with tracer.span("campaign.layer", layer=layer, kind=kind) as layer_span:
             performed = 0
-            for seq, plan in enumerate(layer_plan.plans):
-                if (layer, seq) in records:
-                    continue  # satisfied by the journal
-                record = execute_injection(platform, golden, images, plan,
-                                           use_resume)
-                record["layer"] = layer
-                record["seq"] = seq
-                records[(layer, seq)] = record
-                performed += 1
-                if journal_obj is not None:
-                    journal_obj.append_record(record)
-                emit_injection_telemetry(record, kind, location)
+            outstanding = [(seq, plan)
+                           for seq, plan in enumerate(layer_plan.plans)
+                           if (layer, seq) not in records]
+            for i in range(0, len(outstanding), chunk):
+                group = outstanding[i:i + chunk]
+                group_records = execute_injection_batch(
+                    platform, golden, images, [plan for _, plan in group],
+                    use_resume)
+                for (seq, _), record in zip(group, group_records):
+                    record["layer"] = layer
+                    record["seq"] = seq
+                    records[(layer, seq)] = record
+                    performed += 1
+                    if journal_obj is not None:
+                        journal_obj.append_record(record)
+                    emit_injection_telemetry(record, kind, location)
                 if latency > 0.0:
                     time.sleep(latency)
             layer_span.set(performed=performed, retries=layer_plan.retries)

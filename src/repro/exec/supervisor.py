@@ -108,6 +108,12 @@ class ExecConfig:
     #: executor-scaling bench uses it to measure orchestration overhead
     #: independently of host core count)
     injection_latency: float = 0.0
+    #: independent faults evaluated per forward pass (fault-axis batching);
+    #: 1 = the classic one-injection-per-forward loop.  Per-plan records,
+    #: seq ordering, journal framing and telemetry stay bit-identical to
+    #: K=1 — only wall-clock changes (see core/campaign.py
+    #: ``execute_injection_batch``)
+    fault_batch: int = 1
     #: result-queue poll granularity (also bounds signal-response latency)
     poll_interval: float = 0.05
     #: grace period for workers to drain the sentinel at clean shutdown
@@ -708,7 +714,8 @@ def run_parallel_campaign(
         from ..core.campaign import _run_serial
         _run_serial(platform, golden, images, target_layers, sampling,
                     kind, location, use_resume, journal, completed_records,
-                    injection_latency=config.injection_latency)
+                    injection_latency=config.injection_latency,
+                    fault_batch=config.fault_batch)
         return ParallelOutcome(records=completed_records)
     shards = plan_shards(sampling, completed=set(completed_records),
                          chunk_size=config.chunk_size, workers=config.workers,
@@ -746,6 +753,7 @@ def run_parallel_campaign(
                             blas_threads=blas_threads,
                             shm_cache=shm,
                             injection_latency=config.injection_latency,
+                            fault_batch=config.fault_batch,
                             fault=config.worker_fault)
     supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
                                     kind=kind, location=location)

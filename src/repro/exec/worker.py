@@ -92,6 +92,9 @@ class WorkerPayload:
     #: the serial executor honours the same knob so speedups stay apples
     #: to apples (see benchmarks/bench_parallel_campaign.py)
     injection_latency: float = 0.0
+    #: independent faults evaluated per forward pass (fault-axis batching);
+    #: records stay per-plan and bit-identical to the K=1 loop
+    fault_batch: int = 1
     #: test hook: called as ``fault(worker_id, shard, attempt)`` before a
     #: shard attempt executes — tests use it to hang, crash (``os._exit``)
     #: or raise on chosen shards to exercise the supervision machinery
@@ -127,7 +130,7 @@ def worker_main(worker_id: int, payload: WorkerPayload,
     if payload.blas_threads is not None:
         limit_blas_threads(payload.blas_threads)
 
-    from ..core.campaign import execute_injection
+    from ..core.campaign import execute_injection_batch
     from ..obs.telemetry import get_registry
     from ..obs.tracing import BufferingTracer, get_tracer, set_tracer
 
@@ -196,16 +199,22 @@ def worker_main(worker_id: int, payload: WorkerPayload,
                     if span is not None:
                         span.__enter__()
                     try:
-                        for seq in shard.seqs:
-                            record = execute_injection(
+                        seqs = list(shard.seqs)
+                        chunk = max(1, int(payload.fault_batch))
+                        for i in range(0, len(seqs), chunk):
+                            group = seqs[i:i + chunk]
+                            group_records = execute_injection_batch(
                                 payload.platform, payload.golden,
-                                payload.images, plans[seq],
+                                payload.images,
+                                [plans[seq] for seq in group],
                                 payload.use_resume)
-                            record["layer"] = shard.layer
-                            record["seq"] = seq
-                            batch.append(record)
-                            if len(batch) >= batch_size:
-                                flush_batch()
+                            for seq, record in zip(group, group_records):
+                                record["layer"] = shard.layer
+                                record["seq"] = seq
+                                batch.append(record)
+                                if len(batch) >= batch_size:
+                                    flush_batch()
+                            # one device round-trip serviced the whole chunk
                             if latency > 0.0:
                                 time.sleep(latency)
                     finally:

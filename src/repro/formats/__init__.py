@@ -25,7 +25,7 @@ from .intq import IntegerQuant
 from .posit import Posit
 from .ranges import DynamicRange, dynamic_range
 from .registry import NAMED_FORMATS, available_formats, make_format, register_format
-from .vectorized import flip_value, flip_values
+from .vectorized import flip_value, flip_values, flip_values_batched
 
 __all__ = [
     "NumberFormat",
@@ -41,6 +41,7 @@ __all__ = [
     "flip_bit",
     "flip_value",
     "flip_values",
+    "flip_values_batched",
     "bits_to_uint",
     "uint_to_bits",
     "int_to_twos_complement",

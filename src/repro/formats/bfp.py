@@ -184,8 +184,16 @@ class BlockFloatingPoint(NumberFormat):
         index (default 0, i.e. whole-tensor sharing).
         """
         granularity = self._granularity(block)
-        sign = 1 if float(value) < 0 else 0
-        mant = int(np.clip(np.round(abs(float(value)) / granularity), 0, self.max_mantissa))
+        value = float(value)
+        if np.isnan(value):
+            # sign-magnitude has no NaN encoding; the tensor path remaps NaN
+            # to +0 (np.sign of a NaN block element is forced to 0), so the
+            # scalar encoder stores sign 0 / mantissa 0 rather than crashing
+            return [0] + uint_to_bits(0, self.mantissa_bits)
+        # signbit, not ``< 0``: a -0.0 victim keeps its sign bit, matching
+        # the tensor path which preserves signed zeros in quantized outputs
+        sign = 1 if np.signbit(value) else 0
+        mant = int(np.clip(np.round(abs(value) / granularity), 0, self.max_mantissa))
         return [sign] + uint_to_bits(mant, self.mantissa_bits)
 
     def format_to_real(self, bits: Bitstring, block: int = 0) -> float:

@@ -110,7 +110,11 @@ class IntegerQuant(NumberFormat):
     # ------------------------------------------------------------------
     def real_to_format(self, value: float) -> Bitstring:
         scale = self.scale
-        code = int(np.clip(np.round(float(value) / scale), -self.max_code, self.max_code))
+        # integer pipelines carry no NaN and saturate on overflow — the same
+        # nan_to_num semantics as the tensor path (NaN -> code 0)
+        raw = np.nan_to_num(np.round(float(value) / scale),
+                            nan=0.0, posinf=self.max_code, neginf=-self.max_code)
+        code = int(np.clip(raw, -self.max_code, self.max_code))
         return int_to_twos_complement(code, self.bit_width)
 
     def format_to_real(self, bits: Bitstring) -> float:

@@ -12,12 +12,31 @@ single-pass numpy implementation of the same semantics — the QPyTorch-style
   ``uint32``, XOR one mask, reinterpret back;
 * :class:`~repro.formats.bfp.BlockFloatingPoint` — closed-form
   sign/mantissa arithmetic under each element's block register;
-* any other format — scalar fallback memoized over unique
-  ``(value, block)`` pairs, so repeated quantized values (the common case
-  after ``real_to_format_tensor``) encode only once.
+* :class:`~repro.formats.fp.FloatingPoint` /
+  :class:`~repro.formats.afp.AdaptivFloat` — bulk field extraction
+  (sign/exponent/mantissa) in int64, one packed XOR, bulk decode;
+* :class:`~repro.formats.intq.IntegerQuant` /
+  :class:`~repro.formats.fxp.FixedPoint` — bulk two's-complement codes,
+  one packed XOR, sign-extend, rescale;
+* :class:`~repro.formats.posit.Posit` — bulk nearest-posit table lookup,
+  pattern XOR, decode through a cached all-patterns table;
+* anything else — scalar fallback memoized over unique float32 *bit
+  patterns* (not values: ``np.unique`` on floats collapses NaNs by rules
+  that changed across numpy versions, and collapses ``-0.0`` with ``0.0``,
+  both of which break bit-exact parity with the scalar kernel).
 
 Every path is bit-for-bit equivalent to the scalar :func:`flip_value` (see
-``tests/test_injection.py`` parity coverage).
+``tests/test_injection.py`` parity coverage, including NaN, ``-0.0`` and
+``±inf`` victims).
+
+Multi-fault batching
+--------------------
+:func:`flip_values_batched` extends the same kernels to K *independent*
+injections in one call: the input is K equal-length lane slices concatenated
+along axis 0, and lane ``k``'s bit positions apply only to its own slice.
+Internally every fused kernel XORs a per-element mask array, so K
+heterogeneous flips cost one kernel pass — the hot path of
+:meth:`repro.core.goldeneye.GoldenEye.forward_from_batched`.
 """
 
 from __future__ import annotations
@@ -26,11 +45,22 @@ from typing import Sequence
 
 import numpy as np
 
+from .afp import AdaptivFloat
 from .base import NumberFormat
 from .bfp import BlockFloatingPoint
 from .bitstring import bits_to_float32, flip_bit, float32_to_bits
+from .fp import FloatingPoint
+from .fxp import FixedPoint
+from .intq import IntegerQuant
+from .posit import Posit, _decode_pattern, _table
 
-__all__ = ["flip_value", "flip_values"]
+__all__ = ["flip_value", "flip_values", "flip_values_batched"]
+
+#: widest packed word the int64 kernels can XOR without overflow
+_MAX_FUSED_WIDTH = 62
+
+#: cache of (n, es) -> all 2^n decoded posit values (NaR decodes to NaN)
+_POSIT_DECODE: dict[tuple[int, int], np.ndarray] = {}
 
 
 def flip_value(fmt: NumberFormat | None, value: float,
@@ -74,31 +104,114 @@ def flip_values(fmt: NumberFormat | None, values: np.ndarray,
     ``float32`` array of corrupted values, same shape as ``values``.
     """
     flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    width = 32 if fmt is None else fmt.bit_width
+    mask = _xor_mask(bit_positions, width)
+    out = _flip_fused(fmt, flat, mask, blocks)
+    if out is None:
+        out = _flip_memoized(fmt, flat, bit_positions)
+    return out
+
+
+def flip_values_batched(fmt: NumberFormat | None, values: np.ndarray,
+                        lane_bits: Sequence[Sequence[int]],
+                        blocks: np.ndarray | None = None) -> np.ndarray:
+    """Apply K independent flips to the K equal lane slices of ``values``.
+
+    ``values`` holds K lane slices concatenated along axis 0 (lane ``k`` is
+    ``values[k * B : (k + 1) * B]`` for ``B = len(values) // K``), and
+    ``lane_bits[k]`` names the MSB-first bit positions flipped in lane ``k``
+    only.  ``blocks``, when given, is per-element (already lane-concatenated)
+    exactly like ``values``.  With ``K == 1`` this is :func:`flip_values`.
+
+    Every bit position is validated (``IndexError``) before any lane is
+    corrupted, so errors surface in the same order as K sequential
+    :func:`flip_values` calls.
+    """
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    lanes = [tuple(bits) for bits in lane_bits]
+    if not lanes:
+        raise ValueError("lane_bits must describe at least one lane")
+    if flat.size % len(lanes):
+        raise ValueError(
+            f"cannot split {flat.size} values into {len(lanes)} equal lanes")
+    lane_size = flat.size // len(lanes)
+    width = 32 if fmt is None else fmt.bit_width
+    lane_masks = [_xor_mask(bits, width) for bits in lanes]
+    if len(lanes) == 1:
+        out = _flip_fused(fmt, flat, lane_masks[0], blocks)
+        return out if out is not None else _flip_memoized(fmt, flat, lanes[0])
+    masks = np.repeat(np.asarray(lane_masks, dtype=np.int64), lane_size)
+    out = _flip_fused(fmt, flat, masks, blocks)
+    if out is not None:
+        return out
+    out = np.empty(flat.size, dtype=np.float32)
+    for k, bits in enumerate(lanes):
+        lane = slice(k * lane_size, (k + 1) * lane_size)
+        out[lane] = _flip_memoized(fmt, flat[lane], bits)
+    return out
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def _xor_mask(bit_positions: Sequence[int], width: int) -> int:
+    """The XOR mask of ``bit_positions`` over a ``width``-bit word (MSB first).
+
+    Validates every position up front so an out-of-range bit raises before
+    any value is corrupted — matching the scalar kernel's error behaviour.
+    """
+    mask = 0
+    for b in bit_positions:
+        if not 0 <= b < width:
+            raise IndexError(
+                f"bit position {b} out of range for {width}-bit value")
+        mask |= 1 << (width - 1 - b)
+    return mask
+
+
+def _flip_fused(fmt: NumberFormat | None, values: np.ndarray, masks,
+                blocks: np.ndarray | None) -> np.ndarray | None:
+    """Route to the fused kernel for ``fmt``; None = no fused kernel applies.
+
+    ``masks`` is either one int (the same flip for every element) or a
+    per-element int64 array (multi-fault batching) — every kernel below is a
+    single ``packed ^ masks`` away from supporting both.
+    """
     if fmt is None:
-        return _flip_fp32_fabric(flat, bit_positions)
+        return _flip_fp32_fabric(values, masks)
     if isinstance(fmt, BlockFloatingPoint):
-        return _flip_bfp(fmt, flat, bit_positions, blocks)
-    return _flip_memoized(fmt, flat, bit_positions)
+        return _flip_bfp(fmt, values, masks, blocks)
+    if fmt.bit_width > _MAX_FUSED_WIDTH:
+        return None  # packed int64 arithmetic would overflow
+    if isinstance(fmt, FloatingPoint):
+        if not np.isfinite(fmt.max_value):
+            return None  # extreme exponent widths overflow the float64 path
+        return _flip_fp(fmt, values, masks)
+    if isinstance(fmt, AdaptivFloat):
+        if fmt.exp_bits > 9:
+            return None  # decode exponents can exceed float64's range
+        return _flip_afp(fmt, values, masks)
+    if isinstance(fmt, IntegerQuant):
+        return _flip_intq(fmt, values, masks)
+    if isinstance(fmt, FixedPoint):
+        return _flip_fxp(fmt, values, masks)
+    if isinstance(fmt, Posit):
+        return _flip_posit(fmt, values, masks)
+    return None
 
 
 # ----------------------------------------------------------------------
 # native FP32: one XOR over the reinterpreted batch
 # ----------------------------------------------------------------------
-def _flip_fp32_fabric(values: np.ndarray, bit_positions: Sequence[int]) -> np.ndarray:
-    mask = np.uint32(0)
-    for b in bit_positions:
-        if not 0 <= b < 32:
-            raise IndexError(f"bit position {b} out of range for 32-bit value")
-        mask |= np.uint32(1) << np.uint32(31 - b)
-    raw = values.view(np.uint32) ^ mask
+def _flip_fp32_fabric(values: np.ndarray, masks) -> np.ndarray:
+    raw = values.view(np.uint32) ^ np.asarray(masks, dtype=np.uint32)
     return raw.view(np.float32).copy()
 
 
 # ----------------------------------------------------------------------
 # BFP: closed-form sign/mantissa arithmetic under the block registers
 # ----------------------------------------------------------------------
-def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray,
-              bit_positions: Sequence[int],
+def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray, masks,
               blocks: np.ndarray | None) -> np.ndarray:
     meta = fmt._require_metadata()
     if blocks is None:
@@ -111,27 +224,197 @@ def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray,
     mant = np.round(np.abs(v64) / gran)
     mant = np.nan_to_num(mant, nan=0.0, posinf=float(fmt.max_mantissa))
     mant = np.clip(mant, 0, fmt.max_mantissa).astype(np.int64)
-    sign = (v64 < 0).astype(np.int64)  # matches the scalar encoder exactly
+    # sign via signbit so a -0.0 victim keeps its sign bit, exactly like the
+    # scalar encoder; NaN has no sign-magnitude encoding (sign 0, mantissa 0)
+    nan_mask = np.isnan(v64)
+    sign = (np.signbit(v64) & ~nan_mask).astype(np.int64)
 
-    for b in bit_positions:
-        if not 0 <= b < fmt.bit_width:
-            raise IndexError(f"bit position {b} out of range for {fmt.bit_width}-bit value")
-        if b == 0:
-            sign ^= 1
-        else:
-            mant ^= 1 << (fmt.mantissa_bits - b)
+    packed = (sign << fmt.mantissa_bits) | mant
+    packed = packed ^ masks
+    sign = packed >> fmt.mantissa_bits
+    mant = packed & fmt.max_mantissa
 
     out = np.where(sign == 1, -1.0, 1.0) * mant * gran
     return out.astype(np.float32)
 
 
 # ----------------------------------------------------------------------
-# generic formats: scalar kernel memoized over unique values
+# FloatingPoint: bulk [sign | exponent | mantissa] field arithmetic
+# ----------------------------------------------------------------------
+def _flip_fp(fmt: FloatingPoint, values: np.ndarray, masks) -> np.ndarray:
+    e, m = fmt.exp_bits, fmt.mantissa_bits
+    v64 = values.astype(np.float64)
+    nan_mask = np.isnan(v64)
+    sign = (np.signbit(v64) & ~nan_mask).astype(np.int64)
+    mag = np.where(nan_mask, 0.0, np.abs(v64))
+    mag = np.minimum(mag, fmt.max_value)  # conversion saturates inf/overflow
+    with np.errstate(divide="ignore"):
+        exp = np.floor(np.log2(mag))
+    exp = np.maximum(exp, fmt.min_exp).astype(np.int64)
+    gran = np.exp2((exp - m).astype(np.float64))
+    code = np.round(mag / gran).astype(np.int64)
+    carry = code >= (1 << (m + 1))  # rounding carried to the next exponent
+    exp = exp + carry
+    code = np.where(carry, code >> 1, code)
+    normal = (code >= (1 << m)) & (exp <= fmt.max_exp)
+    exp_field = np.where(normal, exp + fmt.bias, 0)
+    mant = np.where(normal, code - (1 << m), np.minimum(code, (1 << m) - 1))
+    if not fmt.denormals:
+        flush = ~normal
+        exp_field = np.where(flush & (mag >= fmt.min_normal / 2), 1, exp_field)
+        mant = np.where(flush, 0, mant)
+    exp_field = np.where(nan_mask, (1 << e) - 1, exp_field)
+    mant = np.where(nan_mask, (1 << m) - 1, mant)
+
+    packed = (sign << (e + m)) | (exp_field << m) | mant
+    packed = packed ^ masks
+
+    sign_bit = (packed >> (e + m)) & 1
+    sign_f = np.where(sign_bit == 1, -1.0, 1.0)
+    ef = (packed >> m) & ((1 << e) - 1)
+    mf = packed & ((1 << m) - 1)
+    all_ones = ef == (1 << e) - 1
+    if fmt.denormals:
+        denorm_val = mf.astype(np.float64) * (2.0 ** (fmt.min_exp - m))
+    else:
+        denorm_val = np.float64(0.0)
+    with np.errstate(over="ignore"):
+        normal_val = (1.0 + mf / (1 << m)) * np.exp2(
+            (ef - fmt.bias).astype(np.float64))
+    out = sign_f * np.where(ef == 0, denorm_val, normal_val)
+    out = np.where(all_ones, sign_f * np.inf, out)
+    out = np.where(all_ones & (mf != 0), np.nan, out)
+    return out.astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# AdaptivFloat: FloatingPoint fields under the shared tensor bias
+# ----------------------------------------------------------------------
+def _flip_afp(fmt: AdaptivFloat, values: np.ndarray, masks) -> np.ndarray:
+    if np.isnan(values).any():
+        raise ValueError("AdaptivFloat has no NaN encoding")
+    bias = fmt.exp_bias
+    e, m = fmt.exp_bits, fmt.mantissa_bits
+    e_min, _ = fmt._exp_window(bias)
+    v64 = values.astype(np.float64)
+    sign = (v64 < 0).astype(np.int64)  # scalar semantics: -0.0 -> sign 0
+    mag = np.minimum(np.abs(v64), fmt.max_value_for_bias(bias))
+    with np.errstate(divide="ignore"):
+        exp = np.floor(np.log2(mag))
+    exp = np.maximum(exp, e_min).astype(np.int64)
+    gran = np.exp2((exp - m).astype(np.float64))
+    code = np.round(mag / gran).astype(np.int64)
+    carry = code >= (1 << (m + 1))
+    exp = exp + carry
+    code = np.where(carry, code >> 1, code)
+    normal = code >= (1 << m)
+    exp_field = np.where(normal, exp + bias, 0)
+    mant = np.where(normal, code - (1 << m), np.minimum(code, (1 << m) - 1))
+    if not fmt.denormals:
+        flush = ~normal
+        exp_field = np.where(flush & (mag >= 2.0 ** e_min / 2), 1, exp_field)
+        mant = np.where(flush, 0, mant)
+
+    packed = (sign << (e + m)) | (exp_field << m) | mant
+    packed = packed ^ masks
+
+    sign_bit = (packed >> (e + m)) & 1
+    sign_f = np.where(sign_bit == 1, -1.0, 1.0)
+    ef = (packed >> m) & ((1 << e) - 1)
+    mf = packed & ((1 << m) - 1)
+    if fmt.denormals:
+        denorm_val = mf.astype(np.float64) * (2.0 ** (e_min - m))
+    else:
+        denorm_val = np.float64(0.0)
+    with np.errstate(over="ignore"):
+        normal_val = (1.0 + mf / (1 << m)) * np.exp2(
+            (ef - bias).astype(np.float64))
+    out = sign_f * np.where(ef == 0, denorm_val, normal_val)
+    return out.astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# IntegerQuant / FixedPoint: bulk two's-complement codes
+# ----------------------------------------------------------------------
+def _twos_complement_flip(codes: np.ndarray, masks, width: int) -> np.ndarray:
+    """XOR ``masks`` into ``width``-bit two's-complement codes, sign-extended."""
+    u = codes & ((1 << width) - 1)
+    u = u ^ masks
+    return u - ((u >> (width - 1)) << width)
+
+
+def _flip_intq(fmt: IntegerQuant, values: np.ndarray, masks) -> np.ndarray:
+    scale = fmt.scale
+    raw = np.round(values.astype(np.float64) / scale)
+    # integer pipelines carry no NaN; overflow saturates (scalar semantics)
+    raw = np.nan_to_num(raw, nan=0.0, posinf=fmt.max_code, neginf=-fmt.max_code)
+    codes = np.clip(raw, -fmt.max_code, fmt.max_code).astype(np.int64)
+    flipped = _twos_complement_flip(codes, masks, fmt.bit_width)
+    return (flipped.astype(np.float64) * scale).astype(np.float32)
+
+
+def _flip_fxp(fmt: FixedPoint, values: np.ndarray, masks) -> np.ndarray:
+    if np.isnan(values).any():
+        raise ValueError("cannot encode NaN in a fixed-point format")
+    codes = np.round(values.astype(np.float64) / fmt.scale)
+    codes = np.clip(codes, fmt.min_code, fmt.max_code).astype(np.int64)
+    flipped = _twos_complement_flip(codes, masks, fmt.bit_width)
+    return (flipped.astype(np.float64) * fmt.scale).astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# Posit: nearest-pattern table lookup, pattern XOR, table decode
+# ----------------------------------------------------------------------
+def _posit_decode_table(n: int, es: int) -> np.ndarray:
+    key = (n, es)
+    if key not in _POSIT_DECODE:
+        _POSIT_DECODE[key] = np.array(
+            [_decode_pattern(p, n, es) for p in range(1 << n)],
+            dtype=np.float64)
+    return _POSIT_DECODE[key]
+
+
+def _flip_posit(fmt: Posit, values: np.ndarray, masks) -> np.ndarray:
+    n, es = fmt.n, fmt.es
+    tbl_values, tbl_patterns = _table(n, es)
+    v64 = values.astype(np.float64)
+    nan_mask = np.isnan(v64)
+    # nearest-posit quantization, mirroring real_to_format_tensor exactly
+    clean = np.nan_to_num(v64, nan=0.0, posinf=fmt.maxpos, neginf=-fmt.maxpos)
+    idx = np.clip(np.searchsorted(tbl_values, clean), 1, len(tbl_values) - 1)
+    left = tbl_values[idx - 1]
+    right = tbl_values[idx]
+    nearest = np.where(np.abs(clean - left) <= np.abs(clean - right),
+                       left, right)
+    tiny = (nearest == 0.0) & (clean != 0.0)  # nonzero never rounds to zero
+    nearest = np.where(tiny, np.sign(clean) * fmt.minpos, nearest)
+    # the scalar path round-trips the quantized value through float32
+    quantized = nearest.astype(np.float32).astype(np.float64)
+    # pattern lookup with the scalar encoder's tie-to-left adjustment
+    idx = np.clip(np.searchsorted(tbl_values, quantized), 0,
+                  len(tbl_values) - 1)
+    prev = tbl_values[np.maximum(idx - 1, 0)]
+    shift = (tbl_values[idx] != quantized) & (idx > 0) & (prev == quantized)
+    idx = idx - shift
+    pattern = tbl_patterns[idx]
+    pattern = np.where(nan_mask, np.int64(1 << (n - 1)), pattern)  # NaR
+    pattern = pattern ^ masks
+    return _posit_decode_table(n, es)[pattern].astype(np.float32)
+
+
+# ----------------------------------------------------------------------
+# generic formats: scalar kernel memoized over unique bit patterns
 # ----------------------------------------------------------------------
 def _flip_memoized(fmt: NumberFormat, values: np.ndarray,
                    bit_positions: Sequence[int]) -> np.ndarray:
-    uniques, inverse = np.unique(values, return_inverse=True)
+    # memoize over float32 *bit patterns*: np.unique on floats collapses
+    # NaNs by payload-equality rules that changed across numpy versions
+    # (equal_nan) and collapses -0.0 with +0.0, which encodes differently
+    # under sign-aware formats — both break scalar parity
+    patterns = np.ascontiguousarray(values).view(np.uint32)
+    uniques, inverse = np.unique(patterns, return_inverse=True)
+    unique_values = uniques.view(np.float32)
     corrupted = np.empty(uniques.size, dtype=np.float32)
-    for i, v in enumerate(uniques):
+    for i, v in enumerate(unique_values):
         corrupted[i] = np.float32(flip_value(fmt, float(v), bit_positions))
     return corrupted[inverse].reshape(values.shape)

@@ -1,0 +1,70 @@
+"""Lane-stable GEMM chunking for fault-axis batch replication.
+
+Multi-fault batching (:meth:`repro.core.goldeneye.GoldenEye.
+forward_from_batched`) stacks K replicas of the evaluation batch along axis
+0 and runs one forward pass, with an independent fault injected per replica
+*lane*.  For the result to be bit-identical to K separate passes, every op
+downstream of the injection must treat each lane exactly as it would the
+original batch.
+
+Elementwise ufuncs and per-row reductions already are lane-stable, but BLAS
+GEMM is **not** bitwise row-stable across row counts: computing ``(K*B, n) @
+(n, m)`` can produce different low-order bits in row ``i`` than the ``(B, n)
+@ (n, m)`` call does (thread/blocking heuristics depend on the row count).
+The fix is to keep every GEMM the *same shape* as its K=1 counterpart: while
+a lane scope is active, 2-D matmuls whose row count divides evenly are
+computed as K independent BLAS calls of ``B`` rows each and concatenated —
+empirically bitwise identical to the unbatched call, at unchanged FLOP
+count.
+
+The scope is thread-local and costs one ``getattr`` when inactive, so the
+normal (unbatched) hot path is unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["active_lanes", "lane_scope", "lane_matmul"]
+
+_STATE = threading.local()
+
+
+def active_lanes() -> int | None:
+    """Number of replica lanes in the active scope, or None when inactive."""
+    return getattr(_STATE, "lanes", None)
+
+
+@contextmanager
+def lane_scope(lanes: int) -> Iterator[None]:
+    """Treat axis 0 as ``lanes`` stacked replicas for GEMMs in this scope."""
+    prev = getattr(_STATE, "lanes", None)
+    _STATE.lanes = int(lanes) if lanes and int(lanes) > 1 else None
+    try:
+        yield
+    finally:
+        _STATE.lanes = prev
+
+
+def lane_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b``, chunked per replica lane when a lane scope is active.
+
+    Falls through to a plain matmul when no scope is active, when either
+    operand is not 2-D, or when the row count does not divide into lanes
+    (e.g. weight-gradient GEMMs) — those cases are either not on the
+    replicated forward path or not lane-shaped at all.
+    """
+    lanes = active_lanes()
+    if (lanes is None or a.ndim != 2 or b.ndim != 2
+            or a.shape[0] % lanes != 0):
+        return a @ b
+    rows = a.shape[0] // lanes
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+    for k in range(lanes):
+        lane = slice(k * rows, (k + 1) * rows)
+        out[lane] = a[lane] @ b
+    return out

@@ -39,8 +39,12 @@ from repro.exec import ExecConfig
 __all__ = ["MODES", "DifferentialOutcome", "layer_stats",
            "injection_multiset", "counter_totals", "run_mode"]
 
-#: every execution mode the harness can drive
-MODES = ("serial", "parallel2", "parallel4", "parallel2-noshm", "resumed")
+#: every execution mode the harness can drive.  A ``-kN`` suffix runs the
+#: same campaign with fault-axis batching (``fault_batch=N``): K independent
+#: neuron faults share one K-lane forward pass, and the contract extends to
+#: it — batched records must be bit-identical to the K=1 loop.
+MODES = ("serial", "parallel2", "parallel4", "parallel2-noshm", "resumed",
+         "serial-k4", "serial-k8", "parallel2-k4", "resumed-k4")
 
 #: counter families that are deterministic under every mode (numerics.*
 #: conversion counts legitimately differ between resume and full re-run)
@@ -135,27 +139,32 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
     data)`` identity, so any observable difference between two returned
     outcomes is an executor bug, not a campaign difference.
     """
+    label, fault_batch = mode, 1
+    if "-k" in mode:
+        mode, _, k = mode.rpartition("-k")
+        fault_batch = int(k)
     common = dict(kind="value", location="neuron",
-                  injections_per_layer=injections_per_layer, seed=seed)
+                  injections_per_layer=injections_per_layer, seed=seed,
+                  fault_batch=fault_batch)
     if mode == "serial":
         result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
             workers=1, **common)
     elif mode == "parallel2":
         result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
             workers=2, **common)
     elif mode == "parallel4":
         result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
             workers=4, **common)
     elif mode == "parallel2-noshm":
         result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{mode}.trace.jsonl",
+            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
             workers=2, shared_cache=False, **common)
     elif mode == "resumed":
         journal = str(tmp_path / "resumed.journal.jsonl")
-        cfg = ExecConfig(workers=2,
+        cfg = ExecConfig(workers=2, fault_batch=fault_batch,
                          on_record=_InterruptAfter(interrupt_after))
         partial, partial_metrics, partial_events = _traced_campaign(
             model, format_spec, data, tmp_path / "resumed.partial.jsonl",

@@ -301,6 +301,126 @@ class TestVectorizedFlipParity:
         with pytest.raises(IndexError):
             flip_values(fmt, np.float32([1.0]), (6,))
 
+    def _nan_with_payload(self, pattern):
+        return np.array([pattern], dtype=np.uint32).view(np.float32)[0]
+
+    def _special_victims(self, with_nan=True):
+        """-0.0 / +0.0 / ±inf plus (optionally) mixed-payload NaNs."""
+        specials = [np.float32(-0.0), np.float32(0.0),
+                    np.float32(np.inf), np.float32(-np.inf),
+                    np.float32(1.0), np.float32(-1.0)]
+        if with_nan:
+            specials += [self._nan_with_payload(0x7FC00000),   # canonical qNaN
+                         self._nan_with_payload(0x7FC01234),   # payload-bearing
+                         self._nan_with_payload(0xFFC09999)]   # negative NaN
+        return np.array(specials, dtype=np.float32)
+
+    @staticmethod
+    def _assert_bitwise_equal(vec, ref, context):
+        """Bitwise float32 equality: distinguishes -0.0 from +0.0 and keeps
+        NaN payloads honest (plain ``==`` treats NaN != NaN and -0.0 == 0.0)."""
+        same = np.asarray(vec, dtype=np.float32).view(np.uint32) == \
+            np.asarray(ref, dtype=np.float32).view(np.uint32)
+        nan_both = np.isnan(vec) & np.isnan(ref)
+        assert (same | nan_both).all(), context
+
+    @pytest.mark.parametrize("spec", [None, "fp16", "fp8", "int8", "posit8"])
+    def test_special_value_parity_pins(self, spec):
+        """-0.0, ±inf and mixed-payload NaN victims flip bit-identically to
+        the scalar kernel (regression: the BFP vector path used ``value < 0``
+        where the scalar path uses ``signbit``, silently dropping the -0.0
+        sign; NaN encodes went through version-dependent ``np.unique``)."""
+        from repro.formats import flip_value, flip_values, make_format
+
+        fmt = make_format(spec) if spec is not None else None
+        values = self._special_victims()
+        if fmt is not None:
+            fmt.real_to_format_tensor(values)  # capture metadata if any
+        for bits in [(0,), (1,), (0, 2)]:
+            vec = flip_values(fmt, values, bits)
+            ref = np.array([np.float32(flip_value(fmt, float(v), bits))
+                            for v in values], dtype=np.float32)
+            np.testing.assert_array_equal(
+                vec.view(np.uint32), ref.view(np.uint32),
+                err_msg=f"{spec} bits={bits}")
+
+    @pytest.mark.parametrize("spec", ["fxp_1_3_4", "afp_e5m2"])
+    def test_special_value_parity_pins_nanless_formats(self, spec):
+        """Formats with no NaN encoding: -0.0/±inf flip bit-identically and
+        NaN victims raise the same ValueError scalar and vectorized."""
+        from repro.formats import flip_value, flip_values, make_format
+
+        fmt = make_format(spec)
+        values = self._special_victims(with_nan=False)
+        fmt.real_to_format_tensor(values)
+        for bits in [(0,), (1,)]:
+            vec = flip_values(fmt, values, bits)
+            ref = np.array([np.float32(flip_value(fmt, float(v), bits))
+                            for v in values], dtype=np.float32)
+            np.testing.assert_array_equal(
+                vec.view(np.uint32), ref.view(np.uint32),
+                err_msg=f"{spec} bits={bits}")
+        with pytest.raises(ValueError):
+            flip_value(fmt, float("nan"), (0,))
+        with pytest.raises(ValueError):
+            flip_values(fmt, np.float32([np.nan, 1.0]), (0,))
+
+    def test_bfp_negative_zero_sign_parity(self, rng):
+        """Regression: the vectorized BFP path computed the sign with
+        ``value < 0``, so a ``-0.0`` victim encoded with sign 0 and a
+        sign-bit flip produced ``-max_mantissa * 2^exp`` instead of the
+        scalar path's ``+0.0 → -0.0 → 0.0`` round trip."""
+        from repro.formats import BlockFloatingPoint, flip_value, flip_values
+
+        fmt = BlockFloatingPoint(5, 5, block_size=4)
+        values = np.float32([-0.0, 0.0, 1.5, -1.5, np.inf, -np.inf, np.nan, -0.0])
+        quantized = fmt.real_to_format_tensor(values)
+        blocks = np.arange(8) // 4
+        for bits in [(0,), (1,), (0, 5)]:
+            vec = flip_values(fmt, values, bits, blocks=blocks)
+            ref = np.array(
+                [np.float32(flip_value(fmt, float(v), bits, block=int(b)))
+                 for v, b in zip(values, blocks)], dtype=np.float32)
+            self._assert_bitwise_equal(vec, ref, f"bfp bits={bits}")
+        # a sign-bit flip of the -0.0 victim must produce +0.0, not a
+        # full-magnitude negative value (the pre-fix vector-path failure)
+        flipped = flip_values(fmt, values, (0,), blocks=blocks)
+        assert flipped[0] == 0.0 and not np.signbit(flipped[0])
+        assert quantized.shape == values.shape
+
+    def test_memoized_nan_payloads_cross_version(self):
+        """Regression: ``_flip_memoized`` deduplicated over float *values*,
+        where ``np.unique``'s NaN handling changed across numpy versions
+        (every NaN distinct vs all NaNs collapsed) and ``-0.0`` always
+        collapsed with ``0.0``.  Memoizing over uint32 bit patterns makes
+        the result version-independent and bit-identical to the scalar
+        loop for mixed-payload NaN columns."""
+        from repro.formats import flip_value, make_format
+        from repro.formats.vectorized import _flip_memoized
+
+        fmt = make_format("fp16")
+        values = self._special_victims()  # includes 3 distinct NaN payloads
+        for bits in [(0,), (1,), (0, 3)]:
+            out = _flip_memoized(fmt, values, bits)
+            ref = np.array([np.float32(flip_value(fmt, float(v), bits))
+                            for v in values], dtype=np.float32)
+            self._assert_bitwise_equal(out, ref, f"memoized bits={bits}")
+            # determinism: a second call reproduces the same bits exactly
+            again = _flip_memoized(fmt, values, bits)
+            np.testing.assert_array_equal(out.view(np.uint32),
+                                          again.view(np.uint32))
+
+    def test_memoized_negative_zero_not_collapsed_with_positive_zero(self):
+        """A sign-bit flip must send +0.0 → -0.0 and -0.0 → +0.0; value-based
+        memoization collapsed the two victims into one memo entry."""
+        from repro.formats import make_format
+        from repro.formats.vectorized import _flip_memoized
+
+        fmt = make_format("fp16")
+        out = _flip_memoized(fmt, np.float32([-0.0, 0.0]), (0,))
+        assert not np.signbit(out[0])
+        assert np.signbit(out[1])
+
     def test_batched_neuron_corruption_matches_per_sample_loop(self, model, x, labels):
         """End-to-end: ``_corrupt_neuron_value`` reproduces the historical
         per-sample scalar loop, including per-sample BFP block lookup."""
@@ -331,3 +451,120 @@ class TestVectorizedFlipParity:
                            plan.bits, block=block))
         np.testing.assert_array_equal(out, expected)
         ge.detach()
+
+
+class TestFlipValuesBatched:
+    """K-lane fused flips: ``flip_values_batched`` must equal K independent
+    ``flip_values`` calls on the K lane slices, for fused and memoized paths."""
+
+    LANE_BITS = [(0,), (1,), (0, 2), (3,)]
+
+    @pytest.mark.parametrize("spec", [None, "fp16", "fp8", "int8", "posit8"])
+    def test_matches_per_lane_flip_values(self, spec, rng):
+        from repro.formats import flip_values, flip_values_batched, make_format
+
+        fmt = make_format(spec) if spec is not None else None
+        values = (rng.standard_normal(4 * 6) * 3).astype(np.float32)
+        if fmt is not None:
+            values = fmt.real_to_format_tensor(values)
+        out = flip_values_batched(fmt, values, self.LANE_BITS)
+        ref = np.concatenate([
+            flip_values(fmt, values[k * 6:(k + 1) * 6], bits)
+            for k, bits in enumerate(self.LANE_BITS)])
+        same = (out.view(np.uint32) == ref.view(np.uint32)) | \
+            (np.isnan(out) & np.isnan(ref))
+        assert same.all(), spec
+
+    def test_bfp_lanes_respect_per_element_blocks(self, rng):
+        from repro.formats import BlockFloatingPoint, flip_values, \
+            flip_values_batched
+
+        fmt = BlockFloatingPoint(5, 5, block_size=4)
+        values = fmt.real_to_format_tensor(
+            rng.standard_normal(4 * 8).astype(np.float32))
+        blocks = np.arange(4 * 8) // 4
+        out = flip_values_batched(fmt, values, self.LANE_BITS, blocks=blocks)
+        ref = np.concatenate([
+            flip_values(fmt, values[k * 8:(k + 1) * 8], bits,
+                        blocks=blocks[k * 8:(k + 1) * 8])
+            for k, bits in enumerate(self.LANE_BITS)])
+        np.testing.assert_array_equal(out.view(np.uint32), ref.view(np.uint32))
+
+    def test_single_lane_is_flip_values(self, rng):
+        from repro.formats import flip_values, flip_values_batched, make_format
+
+        fmt = make_format("fp16")
+        values = fmt.real_to_format_tensor(
+            rng.standard_normal(8).astype(np.float32))
+        np.testing.assert_array_equal(
+            flip_values_batched(fmt, values, [(1,)]),
+            flip_values(fmt, values, (1,)))
+
+    def test_rejects_non_divisible_lane_split(self):
+        from repro.formats import flip_values_batched
+
+        with pytest.raises(ValueError, match="equal lanes"):
+            flip_values_batched(None, np.zeros(10, dtype=np.float32),
+                                [(0,), (1,), (2,)])
+
+    def test_rejects_empty_lane_list(self):
+        from repro.formats import flip_values_batched
+
+        with pytest.raises(ValueError, match="at least one lane"):
+            flip_values_batched(None, np.zeros(4, dtype=np.float32), [])
+
+    def test_validates_every_lane_before_corrupting(self):
+        """An out-of-range bit in the *last* lane raises before any lane is
+        flipped — same fail-fast contract as sequential flip_values calls."""
+        from repro.formats import flip_values_batched
+
+        values = np.ones(6, dtype=np.float32)
+        with pytest.raises(IndexError, match="out of range"):
+            flip_values_batched(None, values, [(0,), (99,)])
+        np.testing.assert_array_equal(values, np.ones(6, dtype=np.float32))
+
+
+class TestRecordMatchesPlan:
+    """Journal-aliasing regressions: resume must not adopt a record produced
+    by a different layer or by the paired metadata/value campaign."""
+
+    def _value_record(self, plan, **extra):
+        from repro.core.campaign import plan_kind, plan_site
+
+        record = {"kind": plan_kind(plan), "site": plan_site(plan),
+                  "bits": list(plan.bits), "delta_loss": 0.1,
+                  "mismatch_rate": 0.0, "sdc_rate": 0.0, "dur_s": 0.01}
+        record.update(extra)
+        return record
+
+    def test_same_site_other_layer_does_not_match(self):
+        from repro.core.campaign import record_matches_plan
+
+        plan = ValueInjection("fc", "neuron", 3, (1,))
+        record = self._value_record(plan, layer="conv1")
+        assert not record_matches_plan(record, plan)
+        record["layer"] = "fc"
+        assert record_matches_plan(record, plan)
+
+    def test_value_record_does_not_match_metadata_plan(self):
+        from repro.core.campaign import plan_site, record_matches_plan
+
+        value_plan = ValueInjection("fc", "neuron", 0, (0,))
+        metadata_plan = MetadataInjection("fc", "neuron", 0, (0,))
+        # same site + bits: only ``kind`` separates the two campaigns
+        assert plan_site(value_plan) == plan_site(metadata_plan)
+        record = self._value_record(value_plan, layer="fc")
+        assert record_matches_plan(record, value_plan)
+        assert not record_matches_plan(record, metadata_plan)
+
+    def test_legacy_record_without_layer_or_kind_still_matches(self):
+        """Journals written before the layer/kind fields must keep resuming
+        (site + bits match, missing keys are not treated as mismatches)."""
+        from repro.core.campaign import record_matches_plan
+
+        plan = ValueInjection("fc", "neuron", 3, (1, 4))
+        legacy = {"site": 3, "bits": [1, 4], "delta_loss": 0.0,
+                  "mismatch_rate": 0.0, "sdc_rate": 0.0, "dur_s": 0.0}
+        assert record_matches_plan(legacy, plan)
+        assert not record_matches_plan({**legacy, "bits": [1]}, plan)
+        assert not record_matches_plan({**legacy, "site": 4}, plan)

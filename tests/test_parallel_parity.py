@@ -16,6 +16,7 @@ import multiprocessing
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from tests.differential import MODES, run_mode
 from repro.models import simple_mlp
@@ -70,7 +71,7 @@ class TestDifferentialParity:
         # surface 3: deterministic counter totals.  Across an interrupt
         # boundary only the parent-side acceptance counter is exact (see
         # tests/differential.py), so the resumed mode compares that subset.
-        if mode == "resumed":
+        if mode.startswith("resumed"):
             expected = {key: value for key, value in serial.counters.items()
                         if key[0] == "campaign.injections_total"}
         else:
@@ -86,3 +87,65 @@ def test_serial_baseline_is_self_consistent(spec, baselines):
     assert total == INJECTIONS * len(serial.result.per_layer)
     assert len(serial.injections) == total
     assert serial.counters, "deterministic counters must be populated"
+
+
+# ----------------------------------------------------------------------
+# fault-axis batching: property-based record parity
+# ----------------------------------------------------------------------
+#: the record fields that must be *bit-identical* between a K-lane batched
+#: execution and K sequential executions (``dur_s`` amortizes the shared
+#: forward and is explicitly not a parity surface)
+PARITY_FIELDS = ("kind", "site", "bits", "delta_loss", "mismatch_rate",
+                 "sdc_rate")
+
+
+@pytest.fixture(scope="module")
+def batching_platforms():
+    """Per-format attached platforms with a recorded golden checkpoint."""
+    from repro.core import GoldenEye
+    from repro.core.campaign import golden_inference
+
+    out = {}
+    platforms = []
+    for spec in FORMATS:
+        model = simple_mlp(num_classes=4)
+        model.eval()
+        images, labels = _make_data()
+        ge = GoldenEye(model, spec).attach()
+        ge.enable_resume(None)
+        ge.capture_golden(images)
+        golden = golden_inference(ge, images, labels)
+        out[spec] = (ge, golden, images)
+        platforms.append(ge)
+    yield out
+    for ge in platforms:
+        ge.detach()
+
+
+@settings(max_examples=20, deadline=None)
+@given(spec=st.sampled_from(FORMATS),
+       layer_index=st.integers(min_value=0, max_value=10),
+       plan_seed=st.integers(min_value=0, max_value=2 ** 20),
+       lanes=st.integers(min_value=2, max_value=8),
+       use_resume=st.booleans())
+def test_batched_records_match_sequential_property(
+        batching_platforms, spec, layer_index, plan_seed, lanes, use_resume):
+    """Property: for ANY K same-layer neuron plans the platform can sample,
+    ``execute_injection_batch`` returns records field-for-field identical
+    (delta_loss / mismatch_rate / sdc_rate exact floats) to K sequential
+    ``execute_injection`` calls — with and without checkpoint-resume."""
+    from repro.core.campaign import execute_injection, execute_injection_batch
+
+    ge, golden, images = batching_platforms[spec]
+    layers = list(ge.layers)
+    layer = layers[layer_index % len(layers)]
+    plans = [ge.injector.sample_value_injection(
+        np.random.default_rng([plan_seed, k]), layer=layer)
+        for k in range(lanes)]
+    batched = execute_injection_batch(ge, golden, images, plans, use_resume)
+    sequential = [execute_injection(ge, golden, images, plan, use_resume)
+                  for plan in plans]
+    assert len(batched) == len(sequential) == lanes
+    for got, want in zip(batched, sequential):
+        for field in PARITY_FIELDS:
+            assert got[field] == want[field], field
