@@ -7,7 +7,12 @@ from .adversarial import (
     fgsm_attack,
     pgd_attack,
 )
-from .confidence import ConfidenceBin, ConfidenceStudy, confidence_stratified_sdc
+from .confidence import (
+    ConfidenceBin,
+    ConfidenceStudy,
+    confidence_stratified_sdc,
+    wilson_interval,
+)
 from .cost import LayerCost, cost_table, count_macs, mac_cost, model_cost
 from .mixed import (
     LayerSensitivity,
@@ -33,6 +38,7 @@ __all__ = [
     "ConfidenceBin",
     "ConfidenceStudy",
     "confidence_stratified_sdc",
+    "wilson_interval",
     "LayerSensitivity",
     "MixedPrecisionResult",
     "assign_mixed_precision",

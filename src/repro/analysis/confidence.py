@@ -10,6 +10,7 @@ confidence, and report per-bin SDC rates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,7 +21,31 @@ from ..core.injection import InjectionError
 from ..core.metrics import softmax_probs
 from .tables import render_table
 
-__all__ = ["ConfidenceBin", "ConfidenceStudy", "confidence_stratified_sdc"]
+__all__ = ["ConfidenceBin", "ConfidenceStudy", "confidence_stratified_sdc",
+           "wilson_interval"]
+
+
+def wilson_interval(successes: float, trials: int,
+                    z: float = 1.959963984540054) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion (default 95%).
+
+    Used by the live ``/progress`` endpoint to bracket the in-flight SDC
+    estimate: unlike the normal approximation it stays inside [0, 1] and
+    behaves sensibly at the extreme rates (near 0 or 1) fault-injection
+    campaigns routinely produce at small sample counts.  ``successes`` may
+    be fractional (per-injection SDC *rates* summed over records average to
+    an effective success count).  Returns ``(0.0, 1.0)`` — total
+    uncertainty — when no trials have happened yet.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    n = float(trials)
+    p = min(1.0, max(0.0, float(successes) / n))
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    spread = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return (max(0.0, center - spread), min(1.0, center + spread))
 
 
 @dataclass(frozen=True)

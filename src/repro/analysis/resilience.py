@@ -78,6 +78,7 @@ def profile_resilience(
     batch_records: int = 32,
     shared_cache: bool = True,
     fault_batch: int = 1,
+    serve=None,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -101,6 +102,11 @@ def profile_resilience(
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
     metadata campaign journals to ``journal + ".metadata"`` so the two
     campaigns never share (and never clash over) one fingerprinted file.
+
+    ``serve="host:port"`` starts one live observability server
+    (:mod:`repro.obs.live`) spanning *both* campaigns — the value and
+    metadata runs attach to it in turn, so a watcher keeps its endpoint
+    across the hand-off instead of the port flapping between campaigns.
     """
     if use_range_detector and detector is None:
         from ..core.detector import RangeDetector
@@ -109,32 +115,44 @@ def profile_resilience(
     platform = GoldenEye(model, format_spec, targets=targets,
                          range_detector=detector, profiler=profiler,
                          numerics=numerics)
-    with platform:
-        if use_range_detector:
-            from ..core.campaign import golden_inference
+    server = serve
+    owns_server = False
+    if isinstance(serve, str):
+        from ..obs.live import LiveServer
 
-            detector.active = False
-            golden_inference(platform, images, labels)  # profiling pass
-            detector.active = True
-        value_campaign = run_campaign(
-            platform, images, labels, kind="value", location=location,
-            injections_per_layer=injections_per_layer, seed=seed,
-            workers=workers, journal=journal, shard_timeout=shard_timeout,
-            batch_records=batch_records, shared_cache=shared_cache,
-            fault_batch=fault_batch,
-        )
-        fmt = platform.spawn_format()
-        metadata_campaign = None
-        if fmt is not None and fmt.has_metadata:
-            metadata_journal = f"{journal}.metadata" if journal else None
-            metadata_campaign = run_campaign(
-                platform, images, labels, kind="metadata", location=location,
-                injections_per_layer=injections_per_layer, seed=seed + 1,
-                workers=workers, journal=metadata_journal,
-                shard_timeout=shard_timeout,
+        server = LiveServer.start(serve)
+        owns_server = True
+    try:
+        with platform:
+            if use_range_detector:
+                from ..core.campaign import golden_inference
+
+                detector.active = False
+                golden_inference(platform, images, labels)  # profiling pass
+                detector.active = True
+            value_campaign = run_campaign(
+                platform, images, labels, kind="value", location=location,
+                injections_per_layer=injections_per_layer, seed=seed,
+                workers=workers, journal=journal, shard_timeout=shard_timeout,
                 batch_records=batch_records, shared_cache=shared_cache,
-                fault_batch=fault_batch,
+                fault_batch=fault_batch, serve=server,
             )
+            fmt = platform.spawn_format()
+            metadata_campaign = None
+            if fmt is not None and fmt.has_metadata:
+                metadata_journal = f"{journal}.metadata" if journal else None
+                metadata_campaign = run_campaign(
+                    platform, images, labels, kind="metadata",
+                    location=location,
+                    injections_per_layer=injections_per_layer, seed=seed + 1,
+                    workers=workers, journal=metadata_journal,
+                    shard_timeout=shard_timeout,
+                    batch_records=batch_records, shared_cache=shared_cache,
+                    fault_batch=fault_batch, serve=server,
+                )
+    finally:
+        if owns_server:
+            server.close()
     return ResilienceProfile(
         model_name=model_name,
         format_name=value_campaign.format_name,

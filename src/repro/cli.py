@@ -12,6 +12,7 @@ surface over the reproduction:
                              --workers 4 --journal camp.jsonl --numerics
     python -m repro profile  --model resnet18 --format bfp_e5m5_b16
     python -m repro report   --from-metrics metrics.json --from-trace t.jsonl
+    python -m repro watch    127.0.0.1:9200        # dashboard for --serve
     python -m repro ranges
     python -m repro sites
 
@@ -25,7 +26,11 @@ Observability flags (every subcommand):
 * ``--metrics-json FILE`` / ``--metrics-prom FILE`` — dump the process
   metrics registry (cache hit-rate, injections/sec, per-layer phase timing)
   as JSON or Prometheus text exposition on exit;
-* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr.
+* ``-v`` / ``-vv`` — INFO / DEBUG logging to stderr (``-v`` on a campaign
+  also prints periodic progress lines: layer, done/total, inj/s, ETA);
+* ``campaign --serve HOST:PORT`` — live observability while the campaign
+  runs (``/metrics``, ``/progress``, ``/healthz``, ``/events`` SSE), paired
+  with the ``watch`` subcommand's terminal dashboard.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ import sys
 import numpy as np
 
 from .analysis import layer_vulnerability_table, profile_resilience, render_table
-from .core import binary_tree_search, injection_sites, run_campaign
+from .core import CampaignError, binary_tree_search, injection_sites, run_campaign
 from .core.dse import FAMILY_BUILDERS, evaluate_format_accuracy
 from .data import SyntheticImageNet, get_pretrained
 from .formats import available_formats, dynamic_range, make_format
@@ -210,7 +215,8 @@ def cmd_campaign(args) -> int:
         shard_timeout=args.shard_timeout,
         batch_records=args.batch_records,
         shared_cache=not args.no_shared_cache,
-        fault_batch=args.fault_batch)
+        fault_batch=args.fault_batch,
+        serve=args.serve)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
@@ -315,6 +321,51 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    """Terminal dashboard for a live ``--serve`` campaign or a WAL journal."""
+    import os
+    import time as _time
+
+    from .obs import fetch_progress, journal_progress, render_dashboard
+
+    target = args.target
+    if target.startswith(("http://", "https://")):
+        mode = "url"
+    elif os.path.exists(target):
+        mode = "journal"
+    elif ":" in target:
+        mode, target = "url", f"http://{target}"
+    else:
+        print(f"watch: {target!r} is neither a reachable URL nor an "
+              "existing journal file", file=sys.stderr)
+        return 2
+
+    fetched_once = False
+    while True:
+        try:
+            payload = (fetch_progress(target) if mode == "url"
+                       else journal_progress(target))
+        except (OSError, ValueError) as exc:
+            if fetched_once:
+                # the server went away after we saw it: the campaign ended
+                # and an address-owned server shut down with it
+                print("watch: endpoint gone (campaign ended)")
+                return 0
+            print(f"watch: cannot read {target}: {exc}", file=sys.stderr)
+            return 1
+        fetched_once = True
+        frame = render_dashboard(payload)
+        if args.once:
+            print(frame)
+            return 0
+        # ANSI clear + home: a curses-free full-screen refresh
+        sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        sys.stdout.flush()
+        if payload["state"] in ("done", "interrupted", "error"):
+            return 0
+        _time.sleep(max(0.1, args.interval))
+
+
 def cmd_ranges(args) -> int:
     rows = []
     for name in args.format or available_formats():
@@ -393,6 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="independent neuron-value faults evaluated per "
                             "forward pass (fault-axis batching); records "
                             "stay bit-identical to --fault-batch 1")
+    group.add_argument("--serve", metavar="HOST:PORT", default=None,
+                       help="serve live observability while the campaign "
+                            "runs: /metrics (Prometheus), /progress "
+                            "(progress/v1 JSON: done/total, throughput, "
+                            "ETA, in-flight SDC with Wilson CI), /healthz "
+                            "and /events (SSE); watch it with "
+                            "`repro watch HOST:PORT`")
     p.add_argument("--numerics", action="store_true",
                    help="attach the numeric-health monitor (per-layer "
                         "quantization error, saturation / flush-to-zero / "
@@ -433,6 +491,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="samples per profiled forward pass")
     p.set_defaults(func=cmd_profile)
 
+    p = sub.add_parser("watch", help="terminal dashboard for a live --serve "
+                                     "campaign (or a WAL journal file)")
+    p.add_argument("target",
+                   help="a /progress endpoint (HOST:PORT or http://...) or "
+                        "a write-ahead journal file for crashed/remote runs")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds (default 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen refresh)")
+    p.set_defaults(func=cmd_watch)
+
     p = sub.add_parser("ranges", help="dynamic range table (Table I)")
     p.add_argument("--format", nargs="*", help="format specs (default: all named)")
     p.set_defaults(func=cmd_ranges)
@@ -468,6 +537,11 @@ def main(argv: list[str] | None = None) -> int:
     tracer = configure_tracing(getattr(args, "trace", None), registry=registry)
     try:
         return args.func(args)
+    except CampaignError as exc:
+        # orchestration failures with a user-actionable cause (e.g. the
+        # --serve address already bound) get a one-line error, not a trace
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         metrics_json = getattr(args, "metrics_json", None)
         if metrics_json:

@@ -1,7 +1,13 @@
 """``repro.core`` — the GoldenEye platform: emulation hooks, injection engine,
 resilience metrics, campaigns, DSE heuristic, and the range detector."""
 
-from .campaign import CampaignResult, LayerCampaignResult, golden_inference, run_campaign
+from .campaign import (
+    CampaignError,
+    CampaignResult,
+    LayerCampaignResult,
+    golden_inference,
+    run_campaign,
+)
 from .detector import RangeDetector
 from .dse import (
     DseNode,
@@ -72,6 +78,7 @@ __all__ = [
     "mismatch_count",
     "mismatch_rate",
     "sdc_classify",
+    "CampaignError",
     "CampaignResult",
     "LayerCampaignResult",
     "run_campaign",

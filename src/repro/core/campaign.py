@@ -80,7 +80,7 @@ import numpy as np
 from .. import nn
 from ..nn.tensor import Tensor
 from ..obs.telemetry import get_registry
-from ..obs.tracing import get_tracer
+from ..obs.tracing import BroadcastTracer, get_tracer, set_tracer
 from .goldeneye import GoldenEye
 from .injection import InjectionError, MetadataInjection, ValueInjection, \
     per_sample_numel
@@ -88,6 +88,7 @@ from .metrics import InferenceOutcome, compare_outcomes
 from .resume import DEFAULT_CACHE_BUDGET
 
 __all__ = [
+    "CampaignError",
     "CampaignResult",
     "LayerCampaignResult",
     "LayerPlan",
@@ -101,6 +102,15 @@ __all__ = [
 ]
 
 logger = logging.getLogger("repro.campaign")
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not start or continue (clear, user-facing cause).
+
+    Raised instead of bare tracebacks for orchestration failures the user
+    can act on — e.g. the live observability server's ``--serve`` address
+    already being bound by another process.
+    """
 
 
 @dataclass
@@ -449,6 +459,7 @@ def run_campaign(
     shared_cache: bool = True,
     fault_batch: int = 1,
     exec_config=None,
+    serve=None,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
 
@@ -486,6 +497,22 @@ def run_campaign(
     ordering, journal framing and telemetry stay bit-identical to K=1.
     ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides every one
     of these knobs and exposes test hooks.
+
+    Live observability
+    ------------------
+    ``serve="host:port"`` starts an embedded observability server
+    (:class:`repro.obs.live.LiveServer`) for the duration of the campaign:
+    ``/metrics`` (live Prometheus exposition), ``/progress`` (the
+    ``progress/v1`` JSON contract with per-layer done/total, EWMA
+    throughput, ETA and in-flight SDC±Wilson-CI), ``/healthz`` (worker
+    liveness) and ``/events`` (SSE trace-event stream).  A port already in
+    use raises :class:`CampaignError` naming the address; the server is
+    always shut down in a ``finally`` — a SIGINT mid-campaign still returns
+    the partial resumable result with no dangling thread.  Passing an
+    already-started :class:`~repro.obs.live.LiveServer` instance instead of
+    an address attaches the campaign to it but leaves the lifecycle (and
+    the final progress state, still being served) to the caller.  Progress
+    is tracked identically for serial, parallel and fault-batched runs.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
@@ -503,11 +530,35 @@ def run_campaign(
     else:
         effective_workers = max(1, int(workers or 1))
 
-    tracer = get_tracer()
+    from ..obs.live import CampaignProgress, LiveServer
+
+    server: LiveServer | None = None
+    owns_server = False
+    if serve is not None:
+        if isinstance(serve, LiveServer):
+            server = serve
+        else:
+            server = LiveServer.start(str(serve))
+            owns_server = True
+
     registry = get_registry()
+    progress = CampaignProgress(kind=kind, location=location,
+                                format_name=platform.format_name())
+    previous_tracer = None
+    if server is not None:
+        server.attach(progress, registry)
+        logger.info("live observability serving on %s", server.url)
+        # compose — never replace — whatever tracer is configured, so the
+        # /events SSE stream adds a consumer next to the JSONL sink
+        previous_tracer = set_tracer(
+            BroadcastTracer(get_tracer(), server.publish))
+    tracer = get_tracer()
     t_campaign = time.perf_counter()
     if resume:
         platform.enable_resume(resume_budget_bytes)
+        progress.resume_source = (
+            lambda: platform.resume_session.stats.as_dict()
+            if platform.resume_session is not None else {})
     try:
         if resume:
             logits = platform.capture_golden(images)  # also warms output shapes
@@ -539,6 +590,8 @@ def run_campaign(
                 sampling[layer] = sample_layer_plans(
                     platform, layer, kind, location, injections_per_layer,
                     rng, num_bits)
+            progress.set_plan({layer: len(sampling[layer].plans)
+                               for layer in target_layers})
 
             # ---- write-ahead journal: load completed work ----------------
             journal_obj = None
@@ -560,6 +613,10 @@ def run_campaign(
                     if not record_matches_plan(rec, plan_list.plans[seq]):
                         continue
                     records[(layer, seq)] = rec
+                for (layer, seq), rec in records.items():
+                    progress.record(layer, seq,
+                                    float(rec.get("sdc_rate", 0.0) or 0.0),
+                                    prefill=True)
                 journal_skipped = len(records)
                 if journal_skipped:
                     registry.counter(
@@ -582,7 +639,8 @@ def run_campaign(
                         fault_batch=fault_batch)
                     outcome = run_parallel_campaign(
                         platform, golden, images, target_layers, sampling,
-                        kind, location, resume, cfg, journal_obj, records)
+                        kind, location, resume, cfg, journal_obj, records,
+                        progress=progress)
                     records = outcome.records
                     quarantined = outcome.quarantined
                     interrupted = outcome.interrupted
@@ -597,7 +655,8 @@ def run_campaign(
                                 fault_batch=(
                                     exec_config.fault_batch
                                     if exec_config is not None
-                                    else fault_batch))
+                                    else fault_batch),
+                                progress=progress)
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -659,6 +718,7 @@ def run_campaign(
             # merged registry view: identical for serial and parallel runs
             # (workers stream their numerics deltas back per shard)
             telemetry["numeric_health"] = platform.numerics.as_dict()
+        progress.finish("interrupted" if interrupted else "done")
         return CampaignResult(
             kind=kind,
             location=location,
@@ -672,6 +732,16 @@ def run_campaign(
             journal_path=str(journal) if journal is not None else None,
         )
     finally:
+        # finish() only transitions from "running", so a clean return (which
+        # already sealed the state as done/interrupted) is not clobbered
+        progress.finish("error")
+        if previous_tracer is not None:
+            set_tracer(previous_tracer)
+        if owns_server and server is not None:
+            # an address-started server lives exactly as long as the
+            # campaign; SIGINT unwinds through here too, so no dangling
+            # "repro-live-obs" thread survives an interrupted run
+            server.close()
         # always release the activation cache — an injection raising mid-run
         # must not leak the full golden-pass cache (satellite of ISSUE 4)
         if resume:
@@ -691,6 +761,7 @@ def _run_serial(
     records: dict[tuple[str, int], dict],
     injection_latency: float = 0.0,
     fault_batch: int = 1,
+    progress=None,
 ) -> None:
     """Execute all outstanding plans in-process, journaling each record.
 
@@ -728,6 +799,9 @@ def _run_serial(
                     if journal_obj is not None:
                         journal_obj.append_record(record)
                     emit_injection_telemetry(record, kind, location)
+                    if progress is not None:
+                        progress.record(layer, seq, record["sdc_rate"])
+                        progress.maybe_log()
                 if latency > 0.0:
                     time.sleep(latency)
             layer_span.set(performed=performed, retries=layer_plan.retries)

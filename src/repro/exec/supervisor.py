@@ -240,12 +240,17 @@ class CampaignSupervisor:
 
     def __init__(self, payload: WorkerPayload, shards: list[Shard],
                  config: ExecConfig, journal=None,
-                 kind: str = "value", location: str = "neuron"):
+                 kind: str = "value", location: str = "neuron",
+                 progress=None):
         self.payload = payload
         self.config = config
         self.journal = journal
         self.kind = kind
         self.location = location
+        #: optional live CampaignProgress tracker (repro.obs.live): fed per
+        #: accepted record and per worker message so /progress and /healthz
+        #: report parallel runs identically to serial ones
+        self.progress = progress
         self.records: dict[tuple[str, int], dict] = {}
         self.quarantined: list[dict] = []
         self.worker_resume_stats: list[dict] = []
@@ -375,6 +380,8 @@ class CampaignSupervisor:
         self._registry.counter(
             "exec.heartbeats_total",
             help="worker liveness messages observed by the supervisor").inc()
+        if self.progress is not None:
+            self.progress.heartbeat(worker_id)
         if mtype == "records":
             shard_id, _attempt, records = body
             self._accept_records(shard_id, records)
@@ -459,6 +466,11 @@ class CampaignSupervisor:
         for record in fresh:
             self.records[(record["layer"], record["seq"])] = record
             emit_injection_telemetry(record, self.kind, self.location)
+            if self.progress is not None:
+                self.progress.record(record["layer"], record["seq"],
+                                     record["sdc_rate"])
+        if fresh and self.progress is not None:
+            self.progress.maybe_log()
         state = self._states.get(shard_id)
         if state is not None:
             for record in records:
@@ -698,6 +710,7 @@ def run_parallel_campaign(
     config: ExecConfig,
     journal=None,
     completed_records: dict | None = None,
+    progress=None,
 ) -> ParallelOutcome:
     """Execute a campaign's outstanding plans on a supervised worker pool.
 
@@ -715,7 +728,7 @@ def run_parallel_campaign(
         _run_serial(platform, golden, images, target_layers, sampling,
                     kind, location, use_resume, journal, completed_records,
                     injection_latency=config.injection_latency,
-                    fault_batch=config.fault_batch)
+                    fault_batch=config.fault_batch, progress=progress)
         return ParallelOutcome(records=completed_records)
     shards = plan_shards(sampling, completed=set(completed_records),
                          chunk_size=config.chunk_size, workers=config.workers,
@@ -756,7 +769,8 @@ def run_parallel_campaign(
                             fault_batch=config.fault_batch,
                             fault=config.worker_fault)
     supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
-                                    kind=kind, location=location)
+                                    kind=kind, location=location,
+                                    progress=progress)
     supervisor.records = completed_records
     try:
         outcome = supervisor.run()

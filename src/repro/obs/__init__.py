@@ -15,7 +15,11 @@ The measurement substrate for the platform's performance claims:
   (quantization error, saturation / flush-to-zero / NaN-remap counters,
   dynamic-range coverage) fed by the formats' stats sinks;
 * :mod:`repro.obs.report` — campaign health reports (markdown / HTML /
-  JSON) assembled offline from the metrics + trace artifacts.
+  JSON) assembled offline from the metrics + trace artifacts;
+* :mod:`repro.obs.live` — the embedded live observability server
+  (``run_campaign(serve=...)``): ``/metrics``, ``/progress``
+  (``progress/v1``), ``/healthz`` and ``/events`` (SSE), plus the
+  ``repro watch`` dashboard helpers.
 """
 
 from .export import (
@@ -51,6 +55,7 @@ from .telemetry import (
     set_registry,
 )
 from .tracing import (
+    BroadcastTracer,
     BufferingTracer,
     JsonlSink,
     NULL_TRACER,
@@ -60,8 +65,25 @@ from .tracing import (
     get_tracer,
     set_tracer,
 )
+from .live import (
+    PROGRESS_SCHEMA,
+    CampaignProgress,
+    LiveServer,
+    fetch_progress,
+    journal_progress,
+    render_dashboard,
+    validate_progress,
+)
 
 __all__ = [
+    "PROGRESS_SCHEMA",
+    "CampaignProgress",
+    "LiveServer",
+    "fetch_progress",
+    "journal_progress",
+    "render_dashboard",
+    "validate_progress",
+    "BroadcastTracer",
     "Counter",
     "Gauge",
     "Histogram",

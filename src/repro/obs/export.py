@@ -132,7 +132,16 @@ def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) ->
 
 
 def export_prometheus(registry: MetricsRegistry | None = None) -> str:
-    """Prometheus text exposition format v0.0.4."""
+    """Prometheus text exposition format v0.0.4.
+
+    Safe to render while campaign threads mutate the registry (the live
+    ``/metrics`` endpoint scrapes mid-run): the metric list is copied under
+    the registry lock, each metric is rendered from one consistent
+    ``snapshot()`` rather than live fields, and the histogram ``_count``
+    series is derived from the ``+Inf`` cumulative bucket so a concurrent
+    ``observe`` can never produce the ``le="+Inf" != _count`` inconsistency
+    Prometheus rejects.
+    """
     registry = registry if registry is not None else get_registry()
     lines: list[str] = []
     seen_types: set[str] = set()
@@ -143,21 +152,23 @@ def export_prometheus(registry: MetricsRegistry | None = None) -> str:
             if metric.help:
                 lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
+        snap = metric.snapshot()
         if metric.kind == "histogram":
+            buckets = snap["buckets"]
             cumulative = 0
-            for i, bound in enumerate(metric.buckets):
-                cumulative += metric.bucket_counts[i]
+            for bound in metric.buckets:
+                cumulative += buckets.get(repr(bound), 0)
                 lines.append(f"{name}_bucket"
                              f"{_prom_labels(metric.labels, {'le': repr(bound)})}"
                              f" {cumulative}")
-            cumulative += metric.bucket_counts[-1]
+            cumulative += buckets.get("+inf", 0)
             lines.append(f"{name}_bucket"
                          f"{_prom_labels(metric.labels, {'le': '+Inf'})}"
                          f" {cumulative}")
-            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {metric.sum}")
-            lines.append(f"{name}_count{_prom_labels(metric.labels)} {metric.count}")
+            lines.append(f"{name}_sum{_prom_labels(metric.labels)} {snap['sum']}")
+            lines.append(f"{name}_count{_prom_labels(metric.labels)} {cumulative}")
         else:
-            lines.append(f"{name}{_prom_labels(metric.labels)} {metric.value}")
+            lines.append(f"{name}{_prom_labels(metric.labels)} {snap['value']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

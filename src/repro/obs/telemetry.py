@@ -241,15 +241,21 @@ class Histogram(_Metric):
         return self.sum / self.count if self.count else 0.0
 
     def snapshot(self) -> dict:
+        # Copy the bucket list in one step before reading anything else: a
+        # live scrape snapshots while observe() mutates, and list() of a
+        # fixed-size list is atomic under the GIL, so the bucket view is
+        # internally consistent even when count/sum race slightly ahead.
+        counts = list(self.bucket_counts)
+        count = self.count
         snap = {
-            "count": self.count,
+            "count": count,
             "sum": self.sum,
-            "mean": self.mean,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
+            "mean": self.sum / count if count else 0.0,
+            "min": self.min if count else None,
+            "max": self.max if count else None,
             "buckets": {
                 ("+inf" if i == len(self.buckets) else repr(self.buckets[i])): c
-                for i, c in enumerate(self.bucket_counts)
+                for i, c in enumerate(counts)
             },
         }
         if self.nan_count:

@@ -38,6 +38,7 @@ __all__ = [
     "JsonlSink",
     "Tracer",
     "BufferingTracer",
+    "BroadcastTracer",
     "NullTracer",
     "NULL_TRACER",
     "get_tracer",
@@ -205,6 +206,58 @@ class BufferingTracer:
     def close(self) -> None:
         with self._lock:
             self._events.clear()
+
+
+class BroadcastTracer:
+    """Composing tracer: forwards to an inner tracer AND a subscriber.
+
+    Installed by ``run_campaign(serve=...)`` around whatever tracer is
+    already configured, so the live ``/events`` SSE stream *adds* a
+    consumer without replacing the JSONL sink: every span end and point
+    event still reaches the inner tracer exactly as before (including a
+    :class:`NullTracer`, where it is dropped), and is also handed to
+    ``publish`` — a callable like :meth:`repro.obs.live.LiveServer.publish`
+    that fans it out to connected SSE clients.
+
+    ``enabled`` is always true: forked workers check
+    ``get_tracer().enabled`` to decide whether to install a
+    :class:`BufferingTracer`, and with a live server attached worker
+    events must flow back to the parent even when no JSONL sink exists.
+    Publish failures are swallowed — observability must never fail the
+    campaign.
+    """
+
+    enabled = True
+
+    def __init__(self, inner: "Tracer | NullTracer", publish):
+        self.inner = inner
+        self.publish = publish
+
+    def span(self, name: str, **attrs) -> _Span:
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+
+    def _emit(self, event: dict) -> None:
+        # NullTracer has no _emit (its spans are shared no-ops); anything
+        # with one gets the event verbatim, preserving registry mirroring
+        if self.inner.enabled:
+            self.inner._emit(event)
+        self._publish(event)
+
+    def emit_foreign(self, event: dict) -> None:
+        self.inner.emit_foreign(event)
+        self._publish(event)
+
+    def _publish(self, event: dict) -> None:
+        try:
+            self.publish(event)
+        except Exception:  # noqa: BLE001 - never fail the campaign
+            pass
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 class _NullSpan:

@@ -54,11 +54,14 @@ DETERMINISTIC_COUNTER_PREFIXES = ("injection.", "campaign.injections_total")
 class DifferentialOutcome:
     """One mode's comparable surfaces (plus the raw result for asserts)."""
 
-    def __init__(self, result, stats, injections, counters):
+    def __init__(self, result, stats, injections, counters, progress=None):
         self.result = result
         self.stats = stats
         self.injections = injections
         self.counters = counters
+        #: the final ``progress/v1`` document fetched from a live ``/progress``
+        #: endpoint (``run_mode(serve=True)``), or None
+        self.progress = progress
 
 
 def layer_stats(result) -> dict:
@@ -132,12 +135,18 @@ def _traced_campaign(model, format_spec, data, trace_path,
 
 def run_mode(mode: str, model, format_spec, data, tmp_path, *,
              injections_per_layer: int = 5, seed: int = 13,
-             interrupt_after: int = 4) -> DifferentialOutcome:
+             interrupt_after: int = 4, serve: bool = False) -> DifferentialOutcome:
     """Run the seeded campaign under ``mode`` and bundle its surfaces.
 
     Every mode uses the same ``(format_spec, seed, injections_per_layer,
     data)`` identity, so any observable difference between two returned
     outcomes is an executor bug, not a campaign difference.
+
+    ``serve=True`` additionally runs the campaign with a live observability
+    server on an ephemeral port and captures the final schema-validated
+    ``/progress`` document in :attr:`DifferentialOutcome.progress` — the
+    harness owns the server's lifecycle so the endpoint is still answering
+    *after* ``run_campaign`` returns (the sealed final state).
     """
     label, fault_batch = mode, 1
     if "-k" in mode:
@@ -146,46 +155,67 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
     common = dict(kind="value", location="neuron",
                   injections_per_layer=injections_per_layer, seed=seed,
                   fault_batch=fault_batch)
-    if mode == "serial":
-        result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
-            workers=1, **common)
-    elif mode == "parallel2":
-        result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
-            workers=2, **common)
-    elif mode == "parallel4":
-        result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
-            workers=4, **common)
-    elif mode == "parallel2-noshm":
-        result, metrics, events = _traced_campaign(
-            model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
-            workers=2, shared_cache=False, **common)
-    elif mode == "resumed":
-        journal = str(tmp_path / "resumed.journal.jsonl")
-        cfg = ExecConfig(workers=2, fault_batch=fault_batch,
-                         on_record=_InterruptAfter(interrupt_after))
-        partial, partial_metrics, partial_events = _traced_campaign(
-            model, format_spec, data, tmp_path / "resumed.partial.jsonl",
-            journal=journal, exec_config=cfg, **common)
-        assert partial.interrupted, \
-            "interrupt hook must leave the first run partial"
-        result, resumed_metrics, resumed_events = _traced_campaign(
-            model, format_spec, data, tmp_path / "resumed.final.jsonl",
-            journal=journal, workers=2, **common)
-        assert not result.interrupted
-        assert result.telemetry["journal_skipped"] >= 1
-        events = partial_events + resumed_events
-        # see module docstring: only the parent-side acceptance counter is
-        # exact across an interrupt boundary
-        counters = _sum_counters(
-            counter_totals(partial_metrics, ("campaign.injections_total",)),
-            counter_totals(resumed_metrics, ("campaign.injections_total",)))
+    server = None
+    if serve:
+        from repro.obs.live import LiveServer
+        server = LiveServer.start("127.0.0.1:0")
+        common["serve"] = server
+    try:
+        if mode == "serial":
+            result, metrics, events = _traced_campaign(
+                model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
+                workers=1, **common)
+        elif mode == "parallel2":
+            result, metrics, events = _traced_campaign(
+                model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
+                workers=2, **common)
+        elif mode == "parallel4":
+            result, metrics, events = _traced_campaign(
+                model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
+                workers=4, **common)
+        elif mode == "parallel2-noshm":
+            result, metrics, events = _traced_campaign(
+                model, format_spec, data, tmp_path / f"{label}.trace.jsonl",
+                workers=2, shared_cache=False, **common)
+        elif mode == "resumed":
+            journal = str(tmp_path / "resumed.journal.jsonl")
+            cfg = ExecConfig(workers=2, fault_batch=fault_batch,
+                             on_record=_InterruptAfter(interrupt_after))
+            partial, partial_metrics, partial_events = _traced_campaign(
+                model, format_spec, data, tmp_path / "resumed.partial.jsonl",
+                journal=journal, exec_config=cfg, **common)
+            assert partial.interrupted, \
+                "interrupt hook must leave the first run partial"
+            result, resumed_metrics, resumed_events = _traced_campaign(
+                model, format_spec, data, tmp_path / "resumed.final.jsonl",
+                journal=journal, workers=2, **common)
+            assert not result.interrupted
+            assert result.telemetry["journal_skipped"] >= 1
+            events = partial_events + resumed_events
+            # see module docstring: only the parent-side acceptance counter
+            # is exact across an interrupt boundary
+            counters = _sum_counters(
+                counter_totals(partial_metrics,
+                               ("campaign.injections_total",)),
+                counter_totals(resumed_metrics,
+                               ("campaign.injections_total",)))
+            return DifferentialOutcome(result, layer_stats(result),
+                                       injection_multiset(events), counters,
+                                       progress=_final_progress(server))
+        else:
+            raise ValueError(f"unknown differential mode {mode!r}")
         return DifferentialOutcome(result, layer_stats(result),
-                                   injection_multiset(events), counters)
-    else:
-        raise ValueError(f"unknown differential mode {mode!r}")
-    return DifferentialOutcome(result, layer_stats(result),
-                               injection_multiset(events),
-                               counter_totals(metrics))
+                                   injection_multiset(events),
+                                   counter_totals(metrics),
+                                   progress=_final_progress(server))
+    finally:
+        if server is not None:
+            server.close()
+
+
+def _final_progress(server) -> dict | None:
+    """Fetch + validate the sealed /progress document, if a server ran."""
+    if server is None:
+        return None
+    from repro.obs.live import fetch_progress
+    return fetch_progress(server.url)
