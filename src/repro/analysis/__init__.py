@@ -20,7 +20,12 @@ from .mixed import (
     assign_mixed_precision,
     profile_layer_sensitivity,
 )
-from .resilience import ResilienceProfile, layer_vulnerability_table, profile_resilience
+from .resilience import (
+    ResilienceProfile,
+    fault_pattern_table,
+    layer_vulnerability_table,
+    profile_resilience,
+)
 from .tables import format_float, render_series, render_table
 from .tradeoff import TradeoffPoint, TradeoffStudy, explore_tradeoff
 
@@ -46,6 +51,7 @@ __all__ = [
     "ResilienceProfile",
     "profile_resilience",
     "layer_vulnerability_table",
+    "fault_pattern_table",
     "TradeoffPoint",
     "TradeoffStudy",
     "explore_tradeoff",

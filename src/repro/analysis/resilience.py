@@ -17,7 +17,8 @@ from ..core.goldeneye import GoldenEye
 from ..nn.module import Module
 from .tables import render_table
 
-__all__ = ["ResilienceProfile", "profile_resilience", "layer_vulnerability_table"]
+__all__ = ["ResilienceProfile", "profile_resilience",
+           "layer_vulnerability_table", "fault_pattern_table"]
 
 
 @dataclass
@@ -78,7 +79,10 @@ def profile_resilience(
     batch_records: int = 32,
     shared_cache: bool = True,
     fault_batch: int = 1,
+    fault_model="single",
+    protect="none",
     serve=None,
+    layers=None,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -102,6 +106,14 @@ def profile_resilience(
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
     metadata campaign journals to ``journal + ".metadata"`` so the two
     campaigns never share (and never clash over) one fingerprinted file.
+
+    ``fault_model`` / ``protect`` select the campaign's fault model and
+    ECC protection (see :mod:`repro.core.faultmodels` /
+    :mod:`repro.core.ecc`).  Non-single fault models apply to value
+    injections only, so the metadata campaign runs only under the default
+    model.  ``layers`` restricts both campaigns to a subset of
+    instrumented layers (required for the exhaustive model on all but the
+    smallest layers).
 
     ``serve="host:port"`` starts one live observability server
     (:mod:`repro.obs.live`) spanning *both* campaigns — the value and
@@ -130,25 +142,33 @@ def profile_resilience(
                 detector.active = False
                 golden_inference(platform, images, labels)  # profiling pass
                 detector.active = True
+            from ..core.faultmodels import parse_fault_model
+
+            fault_spec = parse_fault_model(fault_model).spec()
             value_campaign = run_campaign(
                 platform, images, labels, kind="value", location=location,
                 injections_per_layer=injections_per_layer, seed=seed,
-                workers=workers, journal=journal, shard_timeout=shard_timeout,
+                layers=layers, workers=workers, journal=journal,
+                shard_timeout=shard_timeout,
                 batch_records=batch_records, shared_cache=shared_cache,
-                fault_batch=fault_batch, serve=server,
+                fault_batch=fault_batch, fault_model=fault_model,
+                protect=protect, serve=server,
             )
             fmt = platform.spawn_format()
             metadata_campaign = None
-            if fmt is not None and fmt.has_metadata:
+            # metadata campaigns support only the single-bit model (the
+            # fault-model axis is a value-word concept); skip them rather
+            # than silently running a different model than requested
+            if fmt is not None and fmt.has_metadata and fault_spec == "single":
                 metadata_journal = f"{journal}.metadata" if journal else None
                 metadata_campaign = run_campaign(
                     platform, images, labels, kind="metadata",
                     location=location,
                     injections_per_layer=injections_per_layer, seed=seed + 1,
-                    workers=workers, journal=metadata_journal,
+                    layers=layers, workers=workers, journal=metadata_journal,
                     shard_timeout=shard_timeout,
                     batch_records=batch_records, shared_cache=shared_cache,
-                    fault_batch=fault_batch, serve=server,
+                    fault_batch=fault_batch, protect=protect, serve=server,
                 )
     finally:
         if owns_server:
@@ -178,4 +198,38 @@ def layer_vulnerability_table(profile: ResilienceProfile) -> str:
         ["layer", "ΔLoss (value)", "ΔLoss (metadata)", "mismatch (value)", "mismatch (metadata)"],
         rows,
         title=f"{profile.model_name} under {profile.format_name} ({profile.value_campaign.location})",
+    )
+
+
+def fault_pattern_table(campaign: CampaignResult, group: str = "len") -> str:
+    """Per-fault-pattern breakdown of a campaign's layers.
+
+    ``group="len"`` tabulates per-burst-length statistics (``len1``,
+    ``len2``, ``len4`` — the flipped-bit count of each record);
+    ``group="start"`` tabulates multi-bit faults by their start (alignment)
+    position.  Groups come from
+    :attr:`~repro.core.campaign.LayerCampaignResult.by_pattern`, which the
+    aggregator fills for every campaign regardless of fault model.
+    """
+    if group not in ("len", "start"):
+        raise ValueError(f"group must be 'len' or 'start', got {group!r}")
+    patterns: list[str] = []
+    for result in campaign.per_layer.values():
+        for key in result.by_pattern:
+            if key.startswith(group) and key not in patterns:
+                patterns.append(key)
+    patterns.sort(key=lambda k: int(k[len(group):]))
+    rows = []
+    for layer, result in campaign.per_layer.items():
+        row = [layer]
+        for key in patterns:
+            stats = result.by_pattern.get(key)
+            row.append(f"{stats['sdc_rate']:.3f}/{stats['mean_delta_loss']:.3f}"
+                       if stats else "n/a")
+        rows.append(tuple(row))
+    return render_table(
+        ["layer"] + [f"{p} (SDC/ΔLoss)" for p in patterns],
+        rows,
+        title=f"{campaign.format_name} {campaign.kind} faults by "
+              f"{'bit count' if group == 'len' else 'start position'}",
     )

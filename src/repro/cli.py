@@ -42,7 +42,16 @@ import sys
 import numpy as np
 
 from .analysis import layer_vulnerability_table, profile_resilience, render_table
-from .core import CampaignError, binary_tree_search, injection_sites, run_campaign
+from .core import (
+    BURST_LENGTHS,
+    CampaignError,
+    VALID_PROTECTIONS,
+    binary_tree_search,
+    injection_sites,
+    parse_fault_model,
+    parse_protection,
+    run_campaign,
+)
 from .core.dse import FAMILY_BUILDERS, evaluate_format_accuracy
 from .data import SyntheticImageNet, get_pretrained
 from .formats import available_formats, dynamic_range, make_format
@@ -102,6 +111,132 @@ def _configure_logging(verbosity: int) -> None:
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
         logger.addHandler(handler)
+
+
+def _burst_arg(text: str) -> int:
+    """``--burst`` validator: one of the supported burst lengths."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--burst must be an integer, got {text!r}") from None
+    if value not in BURST_LENGTHS:
+        raise argparse.ArgumentTypeError(
+            f"--burst must be one of {sorted(BURST_LENGTHS)}, got {value}")
+    return value
+
+
+def _stuck_arg(text: str) -> int:
+    """``--stuck-at`` validator: 0 or 1."""
+    if text not in ("0", "1"):
+        raise argparse.ArgumentTypeError(
+            f"--stuck-at must be 0 or 1, got {text!r}")
+    return int(text)
+
+
+def _positive_int(flag: str):
+    """Validator factory for flags that must be an integer >= 1."""
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be an integer >= 1, got {text!r}") from None
+        if value < 1:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= 1, got {value}")
+        return value
+    return parse
+
+
+def _layers_arg(text: str) -> list[str]:
+    layers = [name.strip() for name in text.split(",") if name.strip()]
+    if not layers:
+        raise argparse.ArgumentTypeError(
+            "--layers needs at least one layer name (comma-separated)")
+    return layers
+
+
+def _add_fault_args(parser: argparse.ArgumentParser,
+                    default_protect: str = "none") -> None:
+    group = parser.add_argument_group("fault model & protection")
+    group.add_argument("--fault-model", default="single", metavar="SPEC",
+                       help="fault-model spec: single (default), "
+                            "burst2/burst4 (optionally :strideS:alignA), "
+                            "stuck0/stuck1, exhaustive, temporalN")
+    group.add_argument("--burst", type=_burst_arg, default=None, metavar="LEN",
+                       help=f"burst fault of LEN adjacent bits "
+                            f"(one of {sorted(BURST_LENGTHS)}); shorthand "
+                            f"for --fault-model burstLEN")
+    group.add_argument("--stride", type=_positive_int("--stride"), default=1,
+                       metavar="S",
+                       help="bit distance between burst positions (>= 1; "
+                            "burst models only)")
+    group.add_argument("--align", type=_positive_int("--align"), default=1,
+                       metavar="A",
+                       help="burst start positions are multiples of A "
+                            "(>= 1; burst models only)")
+    group.add_argument("--stuck-at", type=_stuck_arg, default=None,
+                       metavar="V",
+                       help="stuck-at fault forcing the sampled bit to V "
+                            "(0 or 1); shorthand for --fault-model stuckV")
+    group.add_argument("--exhaustive", action="store_true",
+                       help="enumerate every single-bit site of every target "
+                            "layer instead of sampling (refused when a "
+                            "layer's site space exceeds the cap — restrict "
+                            "--layers)")
+    group.add_argument("--protect", default=default_protect, metavar="MODEL",
+                       help="ECC protection model applied at injection time: "
+                            + ", ".join(VALID_PROTECTIONS)
+                            + f" (default {default_protect})")
+    group.add_argument("--layers", type=_layers_arg, default=None,
+                       metavar="L1,L2,...",
+                       help="restrict the campaign to these instrumented "
+                            "layers (required for --exhaustive on all but "
+                            "tiny models)")
+
+
+def _resolve_fault_args(args) -> str:
+    """Combine the fault flags into one validated spec string.
+
+    Mirrors the ``layers=`` contract: every invalid combination raises
+    ``ValueError`` naming the valid values *before* any model is trained
+    or campaign started.
+    """
+    chosen = []
+    if args.fault_model != "single":
+        chosen.append(f"--fault-model {args.fault_model}")
+    if args.burst is not None:
+        chosen.append(f"--burst {args.burst}")
+    if args.stuck_at is not None:
+        chosen.append(f"--stuck-at {args.stuck_at}")
+    if args.exhaustive:
+        chosen.append("--exhaustive")
+    if len(chosen) > 1:
+        raise ValueError(
+            "conflicting fault-model flags: " + " and ".join(chosen)
+            + "; pick one")
+    if args.burst is not None:
+        spec = f"burst{args.burst}"
+    elif args.stuck_at is not None:
+        spec = f"stuck{args.stuck_at}"
+    elif args.exhaustive:
+        spec = "exhaustive"
+    else:
+        spec = args.fault_model
+    if args.stride != 1 or args.align != 1:
+        if not spec.startswith("burst"):
+            raise ValueError(
+                "--stride/--align apply only to burst fault models "
+                f"(--burst {sorted(BURST_LENGTHS)}), not {spec!r}")
+        if ":" not in spec:
+            if args.stride != 1:
+                spec += f":stride{args.stride}"
+            if args.align != 1:
+                spec += f":align{args.align}"
+    parse_fault_model(spec)  # raises ValueError naming the valid specs
+    parse_protection(args.protect)  # raises ValueError naming valid models
+    return spec
 
 
 def _add_model_args(parser: argparse.ArgumentParser) -> None:
@@ -203,6 +338,7 @@ def _campaign_summary(campaign) -> str:
 
 
 def cmd_campaign(args) -> int:
+    fault_spec = _resolve_fault_args(args)  # fail fast, before training
     model, images, labels = _load(args)
     fmt = make_format(args.format)
     profiler = LayerProfiler()
@@ -216,6 +352,8 @@ def cmd_campaign(args) -> int:
         batch_records=args.batch_records,
         shared_cache=not args.no_shared_cache,
         fault_batch=args.fault_batch,
+        fault_model=fault_spec, protect=args.protect,
+        layers=args.layers,
         serve=args.serve)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
@@ -227,11 +365,60 @@ def cmd_campaign(args) -> int:
     summary = _campaign_summary(campaign)
     if summary:
         print(summary)
+    if fault_spec != "single":
+        from .analysis import fault_pattern_table
+        print("\n" + fault_pattern_table(campaign, group="len"))
+    if args.protect != "none":
+        ecc_totals: dict[str, int] = {}
+        for r in campaign.per_layer.values():
+            for verdict, n in r.ecc.items():
+                ecc_totals[verdict] = ecc_totals.get(verdict, 0) + n
+        print("\nECC verdicts under --protect "
+              f"{args.protect}: " + (", ".join(
+                  f"{k}={v}" for k, v in sorted(ecc_totals.items()))
+                  or "none recorded"))
     profiler.publish(get_registry())  # per-layer phase timing -> exporters
     if numerics is not None:
         print("\n" + numerics.table())
     if args.verbose:
         print("\n" + profiler.table())
+    return 0
+
+
+def cmd_harden(args) -> int:
+    from .core import (GoldenEye, build_hardening_report, layer_geometry,
+                       render_hardening_report)
+
+    fault_spec = _resolve_fault_args(args)  # fail fast, before training
+    protect = args.protect
+    model, images, labels = _load(args)
+    fmt = make_format(args.format)
+    platform = GoldenEye(model, fmt)
+    with platform:
+        # the ranking campaign runs UNPROTECTED — the engine estimates the
+        # protected SDC from the per-pattern statistics, so one campaign
+        # yields the whole cost/benefit frontier
+        campaign = run_campaign(
+            platform, images[: args.batch], labels[: args.batch],
+            kind="value", location=args.location,
+            injections_per_layer=args.injections, seed=args.seed,
+            layers=args.layers, workers=args.workers,
+            fault_model=fault_spec)
+        geometry = layer_geometry(platform, args.location)
+    report = build_hardening_report(campaign, geometry, protection=protect,
+                                    budget_bits=args.budget_bits)
+    print(render_hardening_report(report))
+    if report["selected"]:
+        print(f"\nharden first: {', '.join(report['selected'])} "
+              f"({report['selected_cost_bits']} protection bits)")
+    else:
+        print("\nno layer showed a positive SDC reduction under "
+              f"{report['protection']}")
+    if args.out:
+        import json
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -451,6 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "ETA, in-flight SDC with Wilson CI), /healthz "
                             "and /events (SSE); watch it with "
                             "`repro watch HOST:PORT`")
+    _add_fault_args(p)
     p.add_argument("--numerics", action="store_true",
                    help="attach the numeric-health monitor (per-layer "
                         "quantization error, saturation / flush-to-zero / "
@@ -458,6 +646,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "stats feed the metrics exporters and the summary "
                         "table printed after the campaign")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("harden", help="selective-hardening policy: rank "
+                                      "layers by SDC reduction per "
+                                      "protection bit")
+    _add_model_args(p)
+    p.add_argument("--format", default="bfp_e5m5_b16")
+    p.add_argument("--location", default="neuron", choices=["neuron", "weight"])
+    p.add_argument("--injections", type=int, default=50,
+                   help="injections per layer for the ranking campaign")
+    p.add_argument("--batch", type=int, default=16,
+                   help="validation samples per injected inference")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the ranking campaign")
+    _add_fault_args(p, default_protect="secded")
+    p.add_argument("--budget-bits", type=_positive_int("--budget-bits"),
+                   default=None, metavar="N",
+                   help="total protection-storage budget; ranked layers are "
+                        "selected greedily while they fit (default: "
+                        "unbounded)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the harden/v1 JSON report to FILE")
+    p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("attack", help="adversarial attack efficacy vs format (§V-D)")
     _add_model_args(p)
@@ -542,6 +752,12 @@ def main(argv: list[str] | None = None) -> int:
         # --serve address already bound) get a one-line error, not a trace
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except ValueError as exc:
+        # invalid flag combinations (fault model / protection / layers)
+        # raise ValueError naming the valid values; present them like
+        # argparse does instead of a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         metrics_json = getattr(args, "metrics_json", None)
         if metrics_json:

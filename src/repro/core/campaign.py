@@ -81,6 +81,8 @@ from .. import nn
 from ..nn.tensor import Tensor
 from ..obs.telemetry import get_registry
 from ..obs.tracing import BroadcastTracer, get_tracer, set_tracer
+from .ecc import parse_protection
+from .faultmodels import EXHAUSTIVE_SITE_CAP, parse_fault_model
 from .goldeneye import GoldenEye
 from .injection import InjectionError, MetadataInjection, ValueInjection, \
     per_sample_numel
@@ -128,6 +130,12 @@ class LayerCampaignResult:
     seconds: float = 0.0
     #: sampling attempts that drew an already-seen or invalid site
     retries: int = 0
+    #: per-fault-pattern statistics: ``"len{L}"`` groups records by
+    #: flipped-bit count, ``"start{S}"`` groups multi-bit (burst) faults by
+    #: their start position — the per-burst-length / per-alignment breakdown
+    by_pattern: dict = field(default_factory=dict, repr=False)
+    #: ECC verdict counts at this layer (corrected / detected / silent)
+    ecc: dict = field(default_factory=dict, repr=False)
 
 
 @dataclass
@@ -197,6 +205,42 @@ def golden_inference(platform: GoldenEye, images: np.ndarray,
 # ----------------------------------------------------------------------
 # stage 1: deterministic plan sampling
 # ----------------------------------------------------------------------
+def _layer_value_geometry(platform: GoldenEye, layer: str,
+                          location: str) -> tuple[int, int]:
+    """(elements, word width) of a layer's value-injection space."""
+    state = platform.layers[layer]
+    if location == "neuron":
+        shape = state.last_output_shape
+        numel = per_sample_numel(shape) if shape is not None else 0
+        width = state.neuron_format.bit_width if state.neuron_format else 32
+    else:
+        param = state.module._parameters.get("weight")
+        numel = param.data.size if param is not None else 0
+        width = state.weight_format.bit_width if state.weight_format else 32
+    return numel, width
+
+
+def _exhaustive_layer_plan(platform: GoldenEye, layer: str, kind: str,
+                           location: str, model) -> LayerPlan:
+    """Enumerate every (element, bit) site of ``layer`` in site-major order."""
+    if kind != "value":
+        raise ValueError(
+            "the exhaustive fault model supports value injections only")
+    numel, width = _layer_value_geometry(platform, layer, location)
+    sites = numel * width
+    if sites > EXHAUSTIVE_SITE_CAP:
+        raise ValueError(
+            f"exhaustive fault model: layer {layer!r} has {sites} single-bit "
+            f"sites ({numel} elements x {width} bits), exceeding the cap of "
+            f"{EXHAUSTIVE_SITE_CAP}; restrict layers= to smaller layers or "
+            f"use the sampled estimator")
+    plans = [ValueInjection(layer, location, index, bits,
+                            op=model.op, persist=model.persist)
+             for index in range(numel)
+             for bits in model.enumerate_bits(width)]
+    return LayerPlan(layer=layer, plans=plans, retries=0, site_space=sites)
+
+
 def sample_layer_plans(
     platform: GoldenEye,
     layer: str,
@@ -205,6 +249,7 @@ def sample_layer_plans(
     budget: int,
     rng: np.random.Generator,
     num_bits: int = 1,
+    fault_model=None,
 ) -> LayerPlan:
     """Draw up to ``budget`` unique injection plans for ``layer``.
 
@@ -213,7 +258,17 @@ def sample_layer_plans(
     site-space geometry.  A late :class:`InjectionError` keeps the plans
     already drawn (``sampling_error`` is set and the layer degrades to a
     partial result instead of being discarded wholesale).
+
+    ``fault_model`` (a :class:`repro.core.faultmodels.FaultModel`) selects
+    the bit-pattern sampler; ``None`` is the classic single/multi-bit draw,
+    byte-identical to campaigns that predate fault models.  An exhaustive
+    model ignores ``budget`` and ``rng`` entirely and enumerates every
+    single-bit site deterministically (refusing layers over
+    :data:`~repro.core.faultmodels.EXHAUSTIVE_SITE_CAP`).
     """
+    if fault_model is not None and fault_model.exhaustive:
+        return _exhaustive_layer_plan(platform, layer, kind, location,
+                                      fault_model)
     engine = platform.injector
     registry = get_registry()
     seen: set[tuple] = set()
@@ -221,14 +276,15 @@ def sample_layer_plans(
     attempts = 0
     max_attempts = budget * 20
     sampling_error: str | None = None
-    site_space = _site_space(platform, layer, kind, location)
+    site_space = _site_space(platform, layer, kind, location, fault_model)
     while len(plans) < budget and attempts < max_attempts:
         attempts += 1
         try:
             if kind == "value":
                 plan = engine.sample_value_injection(rng, layer=layer,
                                                      location=location,
-                                                     num_bits=num_bits)
+                                                     num_bits=num_bits,
+                                                     fault_model=fault_model)
                 key = (plan.flat_index, plan.bits)
             else:
                 plan = engine.sample_metadata_injection(rng, layer=layer,
@@ -269,12 +325,75 @@ def plan_site(plan) -> int:
                else plan.register)
 
 
+def _classify_ecc(protection, plan) -> str | None:
+    """ECC verdict for ``plan`` (None = unprotected), counting telemetry."""
+    if protection is None:
+        return None
+    verdict = protection.classify(plan)
+    if verdict is not None:
+        get_registry().counter(
+            f"ecc.{verdict}_total",
+            help="planned faults by ECC verdict (corrected faults and "
+                 "detected-unrecoverable errors never reach the datapath; "
+                 "silent ones alias past the code)").inc()
+    return verdict
+
+
+def _stamp_fault_fields(record: dict, plan, fault_spec, verdict) -> dict:
+    """Add the non-default fault-model fields to a record.
+
+    Every field is emitted *only* when it differs from the classic
+    single-bit-XOR default, so records of a default campaign stay
+    byte-identical to pre-fault-model journals.
+    """
+    if fault_spec not in (None, "single"):
+        record["fault"] = str(fault_spec)
+    if getattr(plan, "op", "xor") != "xor":
+        record["op"] = plan.op
+    if getattr(plan, "persist", 0) > 0:
+        record["persist"] = int(plan.persist)
+    if verdict is not None:
+        record["ecc"] = verdict
+    return record
+
+
+def _compose_temporal(faulty_logits, golden_logits, persist: int):
+    """Decay a temporal fault: samples past ``persist`` see golden logits.
+
+    The campaign treats each evaluation-batch sample as one successive
+    inference; a fault persisting ``persist`` batches corrupts samples
+    ``[0, persist)`` and leaves the rest golden.  Composed post-hoc from
+    one armed forward pass, so temporal campaigns stay bit-identical
+    across serial / parallel / fault-batched / resumed execution.
+    """
+    if persist <= 0 or persist >= len(faulty_logits):
+        return faulty_logits
+    composed = np.array(faulty_logits, copy=True)
+    composed[persist:] = golden_logits[persist:]
+    return composed
+
+
+def _protected_record(plan, verdict: str, fault_spec, dur: float) -> dict:
+    """Record for a fault the ECC corrected/detected: the golden outcome."""
+    return _stamp_fault_fields({
+        "kind": plan_kind(plan),
+        "site": plan_site(plan),
+        "bits": list(plan.bits),
+        "delta_loss": 0.0,
+        "mismatch_rate": 0.0,
+        "sdc_rate": 0.0,
+        "dur_s": dur,
+    }, plan, fault_spec, verdict)
+
+
 def execute_injection(
     platform: GoldenEye,
     golden: InferenceOutcome,
     images: np.ndarray,
     plan,
     use_resume: bool,
+    fault_spec=None,
+    protection=None,
 ) -> dict:
     """Run one injected inference for ``plan`` and return its record.
 
@@ -284,18 +403,31 @@ def execute_injection(
     and ``seq``.  Execution is side-effect free on the platform (the armed
     corruption is always disarmed), so records are reproducible from the
     plan alone — the property the write-ahead journal relies on.
+
+    ``protection`` (a :class:`repro.core.ecc.ProtectionModel`) is consulted
+    first: a corrected or detected fault never reaches the datapath — the
+    injected inference is skipped and the record carries the golden outcome
+    flagged with its ``ecc`` verdict.  ``fault_spec`` (the campaign's
+    fault-model spec string) is stamped into the record when non-default.
     """
     t_inj = time.perf_counter()
+    verdict = _classify_ecc(protection, plan)
+    if verdict in ("corrected", "detected"):
+        return _protected_record(plan, verdict, fault_spec,
+                                 time.perf_counter() - t_inj)
     with platform.injector.armed(plan):
         if use_resume:
-            faulty = InferenceOutcome(
-                logits=platform.forward_from(plan.layer, images),
-                labels=golden.labels,
-            )
+            faulty_logits = platform.forward_from(plan.layer, images)
         else:
-            faulty = golden_inference(platform, images, golden.labels)
+            faulty_logits = golden_inference(platform, images,
+                                             golden.labels).logits
+    faulty = InferenceOutcome(
+        logits=_compose_temporal(faulty_logits, golden.logits,
+                                 getattr(plan, "persist", 0)),
+        labels=golden.labels,
+    )
     metrics = compare_outcomes(golden, faulty)
-    return {
+    return _stamp_fault_fields({
         "kind": plan_kind(plan),
         "site": plan_site(plan),
         "bits": list(plan.bits),
@@ -303,7 +435,7 @@ def execute_injection(
         "mismatch_rate": float(metrics["mismatch_rate"]),
         "sdc_rate": float(metrics["sdc_rate"]),
         "dur_s": time.perf_counter() - t_inj,
-    }
+    }, plan, fault_spec, verdict)
 
 
 def plan_kind(plan) -> str:
@@ -315,15 +447,16 @@ def plans_can_batch(plans) -> bool:
     """True when ``plans`` may share one fault-axis batched forward pass.
 
     Batching tiles the evaluation batch K times and corrupts one replica
-    lane per plan, so it applies only to same-layer neuron *value* plans —
-    metadata and weight corruptions perturb state shared across the whole
-    pass and must execute one at a time.
+    lane per plan, so it applies only to same-layer neuron *value* plans
+    sharing one bit operation — metadata and weight corruptions perturb
+    state shared across the whole pass and must execute one at a time.
     """
     if not plans:
         return False
     first = plans[0]
     return all(isinstance(p, ValueInjection) and p.location == "neuron"
-               and p.layer == first.layer for p in plans)
+               and p.layer == first.layer and p.op == first.op
+               for p in plans)
 
 
 def execute_injection_batch(
@@ -332,6 +465,8 @@ def execute_injection_batch(
     images: np.ndarray,
     plans,
     use_resume: bool,
+    fault_spec=None,
+    protection=None,
 ) -> list[dict]:
     """Run K independent injections in one batched pass; K per-plan records.
 
@@ -341,19 +476,41 @@ def execute_injection_batch(
     ``dur_s``, which amortizes the shared forward across the K plans.
     Falls back to the sequential per-plan loop when the plans cannot share
     a pass (metadata/weight plans, mixed layers) or when K == 1.
+
+    ECC-corrected/-detected plans are partitioned out before the forward —
+    only the live (silent/unprotected) plans share the batched pass — and
+    their golden-outcome records are spliced back in plan order, so the
+    record sequence matches the serial path exactly.
     """
     plans = list(plans)
-    if len(plans) == 1 or not plans_can_batch(plans):
-        return [execute_injection(platform, golden, images, plan, use_resume)
-                for plan in plans]
+    out: list = [None] * len(plans)
+    live: list[tuple[int, object, str | None]] = []
+    for i, plan in enumerate(plans):
+        verdict = _classify_ecc(protection, plan)
+        if verdict in ("corrected", "detected"):
+            out[i] = _protected_record(plan, verdict, fault_spec, 0.0)
+        else:
+            live.append((i, plan, verdict))
+    live_plans = [plan for _, plan, _ in live]
+    if not live_plans:
+        return out
+    if len(live_plans) == 1 or not plans_can_batch(live_plans):
+        for i, plan, verdict in live:
+            record = execute_injection(platform, golden, images, plan,
+                                       use_resume, fault_spec=fault_spec)
+            out[i] = _stamp_fault_fields(record, plan, fault_spec, verdict)
+        return out
     t_batch = time.perf_counter()
-    lane_logits = platform.forward_from_batched(plans[0].layer, plans, images)
-    dur = (time.perf_counter() - t_batch) / len(plans)
-    out = []
-    for k, plan in enumerate(plans):
-        faulty = InferenceOutcome(logits=lane_logits[k], labels=golden.labels)
+    lane_logits = platform.forward_from_batched(live_plans[0].layer,
+                                                live_plans, images)
+    dur = (time.perf_counter() - t_batch) / len(live_plans)
+    for k, (i, plan, verdict) in enumerate(live):
+        faulty = InferenceOutcome(
+            logits=_compose_temporal(lane_logits[k], golden.logits,
+                                     getattr(plan, "persist", 0)),
+            labels=golden.labels)
         metrics = compare_outcomes(golden, faulty)
-        out.append({
+        out[i] = _stamp_fault_fields({
             "kind": plan_kind(plan),
             "site": plan_site(plan),
             "bits": list(plan.bits),
@@ -361,7 +518,7 @@ def execute_injection_batch(
             "mismatch_rate": float(metrics["mismatch_rate"]),
             "sdc_rate": float(metrics["sdc_rate"]),
             "dur_s": dur,
-        })
+        }, plan, fault_spec, verdict)
     return out
 
 
@@ -376,6 +533,10 @@ def record_matches_plan(record: dict, plan) -> bool:
     if "layer" in record and record["layer"] != plan.layer:
         return False
     if "kind" in record and record["kind"] != plan_kind(plan):
+        return False
+    if record.get("op", "xor") != getattr(plan, "op", "xor"):
+        return False
+    if int(record.get("persist", 0) or 0) != getattr(plan, "persist", 0):
         return False
     return (record.get("site") == plan_site(plan)
             and list(record.get("bits", ())) == list(plan.bits))
@@ -419,10 +580,29 @@ def aggregate_layer(layer_plan: LayerPlan,
     delta_losses = [r["delta_loss"] for r in ordered]
     mismatches = 0.0
     sdcs = 0.0
+    pattern_groups: dict[str, list[dict]] = {}
+    ecc_counts: dict[str, int] = {}
     for r in ordered:
         mismatches += r["mismatch_rate"]
         sdcs += r["sdc_rate"]
+        verdict = r.get("ecc")
+        if verdict:
+            ecc_counts[verdict] = ecc_counts.get(verdict, 0) + 1
+        bits = list(r.get("bits", ()))
+        groups = [f"len{len(bits)}"]
+        if len(bits) > 1:
+            groups.append(f"start{min(bits)}")
+        for g in groups:
+            pattern_groups.setdefault(g, []).append(r)
     performed = len(ordered)
+    by_pattern = {
+        g: {
+            "injections": len(rows),
+            "sdc_rate": float(np.mean([r["sdc_rate"] for r in rows])),
+            "mean_delta_loss": float(np.mean([r["delta_loss"] for r in rows])),
+        }
+        for g, rows in sorted(pattern_groups.items())
+    }
     return LayerCampaignResult(
         layer=layer_plan.layer,
         injections=performed,
@@ -433,6 +613,8 @@ def aggregate_layer(layer_plan: LayerPlan,
         delta_losses=delta_losses,
         seconds=float(sum(r["dur_s"] for r in ordered)),
         retries=layer_plan.retries,
+        by_pattern=by_pattern,
+        ecc=ecc_counts,
     )
 
 
@@ -458,6 +640,8 @@ def run_campaign(
     batch_records: int = 32,
     shared_cache: bool = True,
     fault_batch: int = 1,
+    fault_model="single",
+    protect="none",
     exec_config=None,
     serve=None,
 ) -> CampaignResult:
@@ -498,6 +682,25 @@ def run_campaign(
     ``exec_config`` (a :class:`repro.exec.ExecConfig`) overrides every one
     of these knobs and exposes test hooks.
 
+    Fault models & protection
+    -------------------------
+    ``fault_model`` selects how each injection chooses and perturbs bits
+    (see :mod:`repro.core.faultmodels`): ``"single"`` (the default —
+    byte-identical plans, records and journals to campaigns predating fault
+    models), ``"burst2"``/``"burst4"`` (adjacent multi-bit upsets, with
+    optional ``:strideS``/``:alignA`` options), ``"stuck0"``/``"stuck1"``
+    (stuck-at defects), ``"exhaustive"`` (every single-bit site of every
+    target layer, refused above
+    :data:`~repro.core.faultmodels.EXHAUSTIVE_SITE_CAP` sites per layer)
+    and ``"temporalN"`` (faults persisting N evaluation batches).
+    Non-single models apply to ``kind="value"`` campaigns only.
+    ``protect`` applies an ECC protection model
+    (:mod:`repro.core.ecc`) at injection time: ``"secded"`` over value
+    words, ``"parity"`` over shared metadata registers, or
+    ``"secded+parity"``; corrected/detected faults skip the injected
+    inference and record the golden outcome, flagged by verdict.  All
+    execution modes stay bit-identical under every model.
+
     Live observability
     ------------------
     ``serve="host:port"`` starts an embedded observability server
@@ -518,6 +721,16 @@ def run_campaign(
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
     if kind not in ("value", "metadata"):
         raise ValueError(f"kind must be 'value' or 'metadata', got {kind!r}")
+    model = parse_fault_model(fault_model)
+    fault_spec = model.spec()
+    if fault_spec != "single" and kind != "value":
+        raise ValueError(
+            f"fault model {fault_spec!r} applies to value injections only; "
+            "metadata campaigns support only the 'single' model")
+    protection = parse_protection(protect)
+    protect_spec = protection.spec()
+    if protect_spec == "none":
+        protection = None
     all_layers = platform.layer_names()
     if layers is not None:
         unknown = [name for name in layers if name not in set(all_layers)]
@@ -589,7 +802,8 @@ def run_campaign(
                     [seed, layer_index.get(layer, len(layer_index))])
                 sampling[layer] = sample_layer_plans(
                     platform, layer, kind, location, injections_per_layer,
-                    rng, num_bits)
+                    rng, num_bits,
+                    fault_model=None if fault_spec == "single" else model)
             progress.set_plan({layer: len(sampling[layer].plans)
                                for layer in target_layers})
 
@@ -604,7 +818,8 @@ def run_campaign(
                     format_name=platform.format_name(), seed=seed,
                     injections_per_layer=injections_per_layer,
                     num_bits=num_bits, layers=target_layers,
-                    images=images, labels=labels)
+                    images=images, labels=labels,
+                    fault=fault_spec, protect=protect_spec)
                 journal_obj, completed = CampaignJournal.open(journal, fingerprint)
                 for (layer, seq), rec in completed.items():
                     plan_list = sampling.get(layer)
@@ -640,7 +855,8 @@ def run_campaign(
                     outcome = run_parallel_campaign(
                         platform, golden, images, target_layers, sampling,
                         kind, location, resume, cfg, journal_obj, records,
-                        progress=progress)
+                        progress=progress, fault_spec=fault_spec,
+                        protection=protection)
                     records = outcome.records
                     quarantined = outcome.quarantined
                     interrupted = outcome.interrupted
@@ -656,7 +872,8 @@ def run_campaign(
                                     exec_config.fault_batch
                                     if exec_config is not None
                                     else fault_batch),
-                                progress=progress)
+                                progress=progress, fault_spec=fault_spec,
+                                protection=protection)
             finally:
                 if journal_obj is not None:
                     journal_obj.close()
@@ -762,6 +979,8 @@ def _run_serial(
     injection_latency: float = 0.0,
     fault_batch: int = 1,
     progress=None,
+    fault_spec=None,
+    protection=None,
 ) -> None:
     """Execute all outstanding plans in-process, journaling each record.
 
@@ -790,7 +1009,7 @@ def _run_serial(
                 group = outstanding[i:i + chunk]
                 group_records = execute_injection_batch(
                     platform, golden, images, [plan for _, plan in group],
-                    use_resume)
+                    use_resume, fault_spec=fault_spec, protection=protection)
                 for (seq, _), record in zip(group, group_records):
                     record["layer"] = layer
                     record["seq"] = seq
@@ -810,25 +1029,23 @@ def _run_serial(
             platform.resume_session.publish_metrics(registry)
 
 
-def _site_space(platform: GoldenEye, layer: str, kind: str, location: str) -> int:
-    """Total number of unique (index/register, bit) sites at this layer.
+def _site_space(platform: GoldenEye, layer: str, kind: str, location: str,
+                fault_model=None) -> int:
+    """Total number of unique (index/register, pattern) sites at this layer.
 
     Neuron value sites count *per-sample* elements: the batch axis is never
     injectable (each batch sample receives the same flip), so a 1-D layer
     output of shape ``(batch,)`` contributes exactly one element — not
     ``batch`` of them (see :func:`repro.core.injection.per_sample_numel`).
+    A ``fault_model`` narrows the per-word pattern count (e.g. a burst can
+    start at fewer positions than there are bits).
     """
     state = platform.layers[layer]
     if kind == "value":
-        if location == "neuron":
-            shape = state.last_output_shape
-            numel = per_sample_numel(shape) if shape is not None else 0
-            width = state.neuron_format.bit_width if state.neuron_format else 32
-        else:
-            param = state.module._parameters.get("weight")
-            numel = param.data.size if param is not None else 0
-            width = state.weight_format.bit_width if state.weight_format else 32
-        return numel * width
+        numel, width = _layer_value_geometry(platform, layer, location)
+        patterns = (fault_model.patterns_per_word(width)
+                    if fault_model is not None else width)
+        return numel * patterns
     fmt = state.neuron_format if location == "neuron" else state.weight_format
     if fmt is None or not fmt.has_metadata:
         return 0

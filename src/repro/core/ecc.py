@@ -1,0 +1,188 @@
+"""ECC-aware protection models applied at injection time.
+
+A :class:`ProtectionModel` decides, for each planned fault, what a given
+error-correcting code would do with it — *before* the fault reaches the
+datapath.  The verdict is a pure function of the plan (kind, location and
+flipped-bit count), so it is deterministic across serial, parallel,
+fault-batched and journal-resumed execution:
+
+* ``"corrected"`` — the code repairs the fault; the injected inference is
+  skipped entirely and the record carries the golden outcome (ΔLoss 0,
+  SDC 0).
+* ``"detected"`` — the code flags the fault (a detected-unrecoverable
+  error); the system knows the output is suspect, so the corruption is
+  *not silent* — the record again carries the golden outcome, flagged
+  ``ecc="detected"``.
+* ``"silent"`` — the fault slips past the code (aliases to a valid
+  codeword); the injection executes normally and whatever SDC it causes
+  is a genuine silent error.
+* ``None`` — the site is simply not covered by this protection model.
+
+Models:
+
+* :class:`Secded` (``"secded"``) — single-error-correct / double-error-
+  detect over each encoded *value* word: 1 flipped bit → corrected,
+  2 → detected, ≥3 → silent (a triple error aliases or miscorrects).
+* :class:`BfpExpParity` (``"parity"``) — one parity bit over each shared
+  metadata register (BFP shared exponents, INT scale, AFP bias): an odd
+  number of flipped register bits → detected, an even number → silent.
+* ``"secded+parity"`` — both, each covering its own site class.
+
+Each verdict increments ``ecc.corrected_total`` / ``ecc.detected_total`` /
+``ecc.silent_total`` in the telemetry registry (worker deltas stream back
+to the parent like every other counter).
+
+The cost side — how many extra storage bits a protection spends — lives
+here too (:func:`secded_check_bits`, :func:`protection_cost_bits`) and is
+what the selective-hardening policy engine (:mod:`repro.core.hardening`)
+ranks layers by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ProtectionModel",
+    "NoProtection",
+    "Secded",
+    "BfpExpParity",
+    "CombinedProtection",
+    "VALID_PROTECTIONS",
+    "parse_protection",
+    "secded_check_bits",
+    "protection_cost_bits",
+]
+
+#: specs the ``--protect`` flag (and :func:`parse_protection`) accepts
+VALID_PROTECTIONS = ("none", "secded", "parity", "secded+parity")
+
+
+@dataclass(frozen=True)
+class ProtectionModel:
+    """Base protection: classify a planned fault against a code's guarantee."""
+
+    def spec(self) -> str:
+        raise NotImplementedError
+
+    def classify(self, plan) -> str | None:
+        """Verdict for ``plan``: corrected / detected / silent / None."""
+        from .injection import ValueInjection
+        kind = "value" if isinstance(plan, ValueInjection) else "metadata"
+        return self.classify_bits(kind, len(plan.bits))
+
+    def classify_bits(self, kind: str, num_bits: int) -> str | None:
+        """Verdict from the fault geometry alone (pure, deterministic)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoProtection(ProtectionModel):
+    def spec(self) -> str:
+        return "none"
+
+    def classify_bits(self, kind, num_bits):
+        return None
+
+
+@dataclass(frozen=True)
+class Secded(ProtectionModel):
+    """SECDED over value words: 1 corrected, 2 detected, >= 3 silent."""
+
+    def spec(self) -> str:
+        return "secded"
+
+    def classify_bits(self, kind, num_bits):
+        if kind != "value":
+            return None
+        if num_bits == 1:
+            return "corrected"
+        if num_bits == 2:
+            return "detected"
+        return "silent"
+
+
+@dataclass(frozen=True)
+class BfpExpParity(ProtectionModel):
+    """One parity bit per shared metadata register: odd detected, even silent."""
+
+    def spec(self) -> str:
+        return "parity"
+
+    def classify_bits(self, kind, num_bits):
+        if kind != "metadata":
+            return None
+        return "detected" if num_bits % 2 == 1 else "silent"
+
+
+@dataclass(frozen=True)
+class CombinedProtection(ProtectionModel):
+    """Apply several protections, each covering its own site class."""
+
+    parts: tuple = ()
+
+    def spec(self) -> str:
+        return "+".join(p.spec() for p in self.parts)
+
+    def classify_bits(self, kind, num_bits):
+        for part in self.parts:
+            verdict = part.classify_bits(kind, num_bits)
+            if verdict is not None:
+                return verdict
+        return None
+
+
+def parse_protection(spec: "str | ProtectionModel | None") -> ProtectionModel:
+    """Parse a protection spec (``ValueError`` names the valid values)."""
+    if spec is None:
+        return NoProtection()
+    if isinstance(spec, ProtectionModel):
+        return spec
+    text = str(spec).strip().lower()
+    parts = []
+    for token in text.split("+"):
+        if token == "none":
+            continue
+        elif token == "secded":
+            parts.append(Secded())
+        elif token == "parity":
+            parts.append(BfpExpParity())
+        else:
+            raise ValueError(
+                f"unknown protection model {spec!r}; "
+                f"valid models: {', '.join(VALID_PROTECTIONS)}")
+    if not parts:
+        return NoProtection()
+    if len(parts) == 1:
+        return parts[0]
+    return CombinedProtection(parts=tuple(parts))
+
+
+def secded_check_bits(width: int) -> int:
+    """Hamming check bits for a ``width``-bit data word (excl. the DED parity).
+
+    The smallest ``r`` with ``2**r >= width + r + 1`` — e.g. 5 for a 16-bit
+    word, 6 for 32 bits.
+    """
+    if width < 1:
+        raise ValueError(f"word width must be >= 1, got {width}")
+    r = 1
+    while (1 << r) < width + r + 1:
+        r += 1
+    return r
+
+
+def protection_cost_bits(words: int, width: int, protection="secded") -> int:
+    """Total extra storage bits to protect ``words`` words of ``width`` bits.
+
+    SECDED spends the Hamming check bits plus one overall parity bit per
+    word; plain parity spends one bit per word; ``none`` is free.
+    """
+    model = parse_protection(protection)
+    spec = model.spec()
+    per_word = 0
+    if "secded" in spec:
+        per_word += secded_check_bits(width) + 1
+    if "parity" in spec:
+        per_word += 1
+    return int(words) * per_word

@@ -1,0 +1,259 @@
+"""Selective-hardening policy engine: which layers to protect first.
+
+Protecting *every* word of a network with SECDED costs ~40% extra storage
+at 16-bit words; the empirical result this engine operationalises is that
+SDC vulnerability is wildly non-uniform across layers (Fig. 7), so most of
+the protection benefit comes from hardening a small, well-chosen subset.
+
+The engine shares its philosophy with the format DSE heuristic
+(:mod:`repro.core.dse`): both search a cost/benefit frontier measured on
+the real model — the DSE walks format parameters accepting the cheapest
+accuracy-preserving point, while the hardening engine ranks layers by
+**SDC reduction per protection bit** and greedily selects them into an
+optional bit budget.  A typical pipeline runs the DSE first to choose a
+format, then a fault-injection campaign under that format, then this
+engine over the campaign's per-layer statistics.
+
+Inputs
+------
+* an (unprotected) value-injection :class:`~repro.core.campaign.CampaignResult`;
+* the per-layer word geometry (``layer -> {"words", "width"}``, see
+  :func:`layer_geometry`);
+* a protection model spec (:mod:`repro.core.ecc`).
+
+For each layer the engine estimates the **protected** SDC rate by
+replaying the campaign's per-pattern statistics
+(:attr:`~repro.core.campaign.LayerCampaignResult.by_pattern`) through the
+protection model's verdict function: pattern groups the code corrects or
+detects contribute zero silent corruption, groups that alias past it keep
+their measured SDC.  The estimate therefore needs **no second campaign**
+— and because verdicts are a pure function of fault geometry, it matches
+what a protected re-run measures (the CI ``fault-models`` job asserts the
+protected-run SDC is never above the unprotected one).
+
+The report is a plain-dict ``harden/v1`` document (JSON-friendly, schema
+checked by :func:`validate_hardening_report`) ranking layers
+most-valuable-first; ``repro harden`` prints it as a table and can write
+the JSON.
+"""
+
+from __future__ import annotations
+
+from .ecc import parse_protection, protection_cost_bits
+
+__all__ = [
+    "HARDEN_SCHEMA",
+    "layer_geometry",
+    "build_hardening_report",
+    "validate_hardening_report",
+    "render_hardening_report",
+]
+
+HARDEN_SCHEMA = "harden/v1"
+
+#: every field a ranking entry must carry
+_ENTRY_FIELDS = frozenset((
+    "rank", "layer", "words", "width", "cost_bits", "sdc_rate",
+    "protected_sdc_rate", "sdc_reduction", "score", "selected",
+))
+
+
+def layer_geometry(platform, location: str = "neuron") -> dict:
+    """Per-layer word geometry: ``layer -> {"words", "width"}``.
+
+    Words are the protectable storage units at ``location`` — per-sample
+    activation elements for ``"neuron"``, parameter elements for
+    ``"weight"`` — each ``width`` bits wide under the layer's format.
+    """
+    from .campaign import _layer_value_geometry
+    out = {}
+    for name in platform.layer_names():
+        words, width = _layer_value_geometry(platform, name, location)
+        out[name] = {"words": int(words), "width": int(width)}
+    return out
+
+
+def _protected_sdc(result, protection) -> float:
+    """Estimated SDC rate of one layer after applying ``protection``.
+
+    Replays the layer's per-bit-count pattern groups through the verdict
+    function: corrected/detected groups contribute zero, silent (and
+    uncovered) groups keep their measured SDC.  Falls back to classifying
+    a single-bit fault when the aggregate carries no pattern breakdown
+    (e.g. a result loaded from an old journal).
+    """
+    groups = {key: stats for key, stats in result.by_pattern.items()
+              if key.startswith("len")}
+    if not groups:
+        verdict = protection.classify_bits("value", 1)
+        return 0.0 if verdict in ("corrected", "detected") else result.sdc_rate
+    total = 0
+    silent_sdc = 0.0
+    for key, stats in groups.items():
+        n = int(stats["injections"])
+        total += n
+        verdict = protection.classify_bits("value", int(key[len("len"):]))
+        if verdict not in ("corrected", "detected"):
+            silent_sdc += float(stats["sdc_rate"]) * n
+    return silent_sdc / total if total else 0.0
+
+
+def build_hardening_report(
+    campaign,
+    geometry: dict,
+    protection="secded",
+    budget_bits: int | None = None,
+) -> dict:
+    """Rank layers by SDC reduction per protection bit; greedy budget fill.
+
+    ``campaign`` must be a *value*-injection campaign (the protection
+    models cover encoded value words); ``geometry`` comes from
+    :func:`layer_geometry`.  ``budget_bits`` caps the total protection
+    storage: ranked layers are selected greedily while they fit (a layer
+    that doesn't fit is skipped, later cheaper ones may still be taken).
+    Layers whose estimated reduction is zero are ranked but never selected
+    — protecting them spends bits for nothing.
+    """
+    if campaign.kind != "value":
+        raise ValueError(
+            f"hardening ranks value-injection campaigns, got kind="
+            f"{campaign.kind!r} (protection models cover value words)")
+    if budget_bits is not None and budget_bits < 0:
+        raise ValueError(f"budget_bits must be >= 0, got {budget_bits}")
+    model = parse_protection(protection)
+    entries = []
+    for layer, result in campaign.per_layer.items():
+        geo = geometry.get(layer)
+        if geo is None:
+            continue
+        words, width = int(geo["words"]), int(geo["width"])
+        cost = protection_cost_bits(words, width, model)
+        protected = _protected_sdc(result, model)
+        reduction = max(0.0, float(result.sdc_rate) - protected)
+        entries.append({
+            "layer": layer,
+            "words": words,
+            "width": width,
+            "cost_bits": cost,
+            "sdc_rate": float(result.sdc_rate),
+            "protected_sdc_rate": float(protected),
+            "sdc_reduction": reduction,
+            "score": reduction / cost if cost > 0 else 0.0,
+            "injections": int(result.injections),
+        })
+    entries.sort(key=lambda e: (-e["score"], e["cost_bits"], e["layer"]))
+    selected = []
+    spent = 0
+    for rank, entry in enumerate(entries, 1):
+        entry["rank"] = rank
+        take = entry["sdc_reduction"] > 0.0 and entry["cost_bits"] > 0
+        if take and budget_bits is not None:
+            take = spent + entry["cost_bits"] <= budget_bits
+        entry["selected"] = bool(take)
+        if take:
+            selected.append(entry["layer"])
+            spent += entry["cost_bits"]
+    report = {
+        "schema": HARDEN_SCHEMA,
+        "protection": model.spec(),
+        "format": campaign.format_name,
+        "location": campaign.location,
+        "budget_bits": None if budget_bits is None else int(budget_bits),
+        "baseline_sdc_rate": (sum(e["sdc_rate"] for e in entries)
+                              / len(entries) if entries else 0.0),
+        "ranking": entries,
+        "selected": selected,
+        "selected_cost_bits": int(spent),
+    }
+    return validate_hardening_report(report)
+
+
+def validate_hardening_report(report: dict) -> dict:
+    """Check a ``harden/v1`` report's schema and internal consistency.
+
+    Raises ``ValueError`` on any violation: wrong schema tag, a ranking
+    entry missing fields, scores out of descending order, a score that
+    does not equal its reduction/cost, or a selection exceeding the
+    budget.  Returns the report unchanged so builders can validate-on-exit.
+    """
+    if not isinstance(report, dict) or report.get("schema") != HARDEN_SCHEMA:
+        raise ValueError(
+            f"not a {HARDEN_SCHEMA} report: schema="
+            f"{report.get('schema') if isinstance(report, dict) else report!r}")
+    ranking = report.get("ranking")
+    if not isinstance(ranking, list):
+        raise ValueError("harden report 'ranking' must be a list")
+    budget = report.get("budget_bits")
+    prev_score = None
+    spent = 0
+    selected = []
+    for i, entry in enumerate(ranking):
+        missing = _ENTRY_FIELDS - set(entry)
+        if missing:
+            raise ValueError(
+                f"ranking entry {i} missing fields: {sorted(missing)}")
+        if entry["rank"] != i + 1:
+            raise ValueError(
+                f"ranking entry {i} has rank {entry['rank']}, expected {i + 1}")
+        score = float(entry["score"])
+        if prev_score is not None and score > prev_score + 1e-12:
+            raise ValueError(
+                f"ranking is not sorted by score: entry {i} "
+                f"({score}) outranks its predecessor ({prev_score})")
+        prev_score = score
+        cost = int(entry["cost_bits"])
+        expected = (entry["sdc_reduction"] / cost) if cost > 0 else 0.0
+        if abs(score - expected) > 1e-9:
+            raise ValueError(
+                f"entry {i} score {score} != sdc_reduction/cost_bits "
+                f"({expected})")
+        reduction = float(entry["sdc_reduction"])
+        if not (-1e-9 <= reduction <= entry["sdc_rate"] + 1e-9):
+            raise ValueError(
+                f"entry {i} sdc_reduction {reduction} outside "
+                f"[0, sdc_rate={entry['sdc_rate']}]")
+        if entry["selected"]:
+            selected.append(entry["layer"])
+            spent += cost
+            if reduction <= 0.0:
+                raise ValueError(
+                    f"entry {i} ({entry['layer']}) selected with zero "
+                    "SDC reduction")
+    if budget is not None and spent > budget:
+        raise ValueError(
+            f"selected layers cost {spent} bits, exceeding the "
+            f"{budget}-bit budget")
+    if list(report.get("selected", [])) != selected:
+        raise ValueError("'selected' does not match the entries flagged "
+                         "selected=true in ranking order")
+    if int(report.get("selected_cost_bits", -1)) != spent:
+        raise ValueError(
+            f"selected_cost_bits {report.get('selected_cost_bits')} != "
+            f"sum of selected entry costs ({spent})")
+    return report
+
+
+def render_hardening_report(report: dict) -> str:
+    """Human-readable table of a ``harden/v1`` report."""
+    from ..analysis.tables import render_table
+    rows = []
+    for entry in report["ranking"]:
+        rows.append((
+            str(entry["rank"]),
+            entry["layer"],
+            f"{entry['sdc_rate']:.4f}",
+            f"{entry['protected_sdc_rate']:.4f}",
+            f"{entry['sdc_reduction']:.4f}",
+            str(entry["cost_bits"]),
+            f"{entry['score']:.3e}",
+            "yes" if entry["selected"] else "-",
+        ))
+    budget = report.get("budget_bits")
+    title = (f"harden-first ranking under {report['protection']} "
+             f"({report['format']}, {report['location']})")
+    if budget is not None:
+        title += f" — budget {budget} bits, spent {report['selected_cost_bits']}"
+    return render_table(
+        ["rank", "layer", "SDC", "SDC(prot)", "reduction", "cost bits",
+         "reduction/bit", "harden"],
+        rows, title=title)

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..formats.base import NumberFormat
 from ..formats.bfp import BlockFloatingPoint
-from ..formats.bitstring import flip_bit
+from ..formats.bitstring import flip_bit, set_bit
 from ..formats.vectorized import flip_value, flip_values, flip_values_batched
 from ..obs.telemetry import get_registry
 
@@ -60,14 +60,28 @@ class InjectionError(RuntimeError):
     """Raised for invalid or inapplicable injection plans."""
 
 
+#: bit operations a plan may carry: XOR flip (transient SEU), force-to-1 /
+#: force-to-0 (the stuck-at fault model)
+PLAN_OPS = ("xor", "set", "clear")
+
+
 @dataclass(frozen=True)
 class ValueInjection:
-    """Flip ``bits`` of the data value at ``flat_index`` in a layer's tensor."""
+    """Corrupt ``bits`` of the data value at ``flat_index`` in a layer's tensor.
+
+    ``op`` selects the corruption primitive (``"xor"`` flip, ``"set"`` /
+    ``"clear"`` stuck-at); ``persist`` > 0 marks a temporal fault that
+    survives only the first ``persist`` evaluation batches (see
+    :class:`repro.core.faultmodels.Temporal`).  The defaults reproduce the
+    classic transient single/multi-bit-flip plan exactly.
+    """
 
     layer: str
     location: str  # "neuron" | "weight"
     flat_index: int
     bits: tuple[int, ...]
+    op: str = "xor"
+    persist: int = 0
 
     def __post_init__(self):
         if self.location not in ("neuron", "weight"):
@@ -76,22 +90,44 @@ class ValueInjection:
             raise InjectionError("at least one bit position is required")
         if self.flat_index < 0:
             raise InjectionError("flat_index must be non-negative")
+        if self.op not in PLAN_OPS:
+            raise InjectionError(
+                f"unknown bit operation {self.op!r}; valid: {', '.join(PLAN_OPS)}")
+        if self.persist < 0:
+            raise InjectionError("persist must be non-negative")
 
 
 @dataclass(frozen=True)
 class MetadataInjection:
-    """Flip ``bits`` of metadata register ``register`` of a layer's format."""
+    """Corrupt ``bits`` of metadata register ``register`` of a layer's format."""
 
     layer: str
     location: str  # "neuron" | "weight"
     register: int
     bits: tuple[int, ...]
+    op: str = "xor"
+    persist: int = 0
 
     def __post_init__(self):
         if self.location not in ("neuron", "weight"):
             raise InjectionError(f"unknown location {self.location!r}")
         if not self.bits:
             raise InjectionError("at least one bit position is required")
+        if self.op not in PLAN_OPS:
+            raise InjectionError(
+                f"unknown bit operation {self.op!r}; valid: {', '.join(PLAN_OPS)}")
+        if self.persist < 0:
+            raise InjectionError("persist must be non-negative")
+
+
+def _corrupt_bitstring(bits, plan_bits, op: str):
+    """Apply a plan's bit operation to a metadata-register bitstring."""
+    for b in plan_bits:
+        if op == "xor":
+            bits = flip_bit(bits, b)
+        else:
+            bits = set_bit(bits, b, 1 if op == "set" else 0)
+    return bits
 
 
 # scalar encode → flip → decode lives in the formats layer now; keep the
@@ -198,7 +234,7 @@ class InjectionEngine:
                       + plan.flat_index) // block_size
         column = per_sample[:, plan.flat_index]
         per_sample[:, plan.flat_index] = flip_values(fmt, column, plan.bits,
-                                                     blocks=blocks)
+                                                     blocks=blocks, op=plan.op)
         self.injections_applied += 1
         self._count_flip("value", "neuron")
         return out
@@ -248,12 +284,17 @@ class InjectionEngine:
                     f"flat_index {plan.flat_index} out of range for layer "
                     f"{state.name} per-sample output of {sample_size} elements"
                 )
+        ops = {p.op for p in plans}
+        if len(ops) > 1:
+            raise InjectionError(
+                f"lane-batched plans must share one bit operation, got {ops}")
         rows = np.arange(total)
         cols = np.repeat(
             np.array([p.flat_index for p in plans], dtype=np.int64), batch)
         column = per_sample[rows, cols]
         per_sample[rows, cols] = flip_values_batched(
-            state.neuron_format, column, [p.bits for p in plans])
+            state.neuron_format, column, [p.bits for p in plans],
+            op=plans[0].op)
         for _ in plans:
             self.injections_applied += 1
             self._count_flip("value", "neuron")
@@ -267,9 +308,8 @@ class InjectionEngine:
                 f"layer {state.name} format {fmt!r} has no metadata to inject into"
             )
         golden = state.neuron_golden_metadata
-        bits = fmt.get_metadata_bits(plan.register)
-        for b in plan.bits:
-            bits = flip_bit(bits, b)
+        bits = _corrupt_bitstring(fmt.get_metadata_bits(plan.register),
+                                  plan.bits, plan.op)
         fmt.set_metadata_bits(bits, plan.register)
         corrupted = fmt.apply_metadata_corruption(quantized, golden)
         self.injections_applied += 1
@@ -300,7 +340,8 @@ class InjectionEngine:
         self._restores.append(
             _WeightRestore(state.name, "weight", param.data.copy())
         )
-        corrupted = _flip_value(fmt, float(flat[plan.flat_index]), plan.bits, block=block)
+        corrupted = _flip_value(fmt, float(flat[plan.flat_index]), plan.bits,
+                                block=block, op=plan.op)
         flat[plan.flat_index] = np.float32(corrupted)
         self.injections_applied += 1
         self._count_flip("value", "weight")
@@ -317,9 +358,8 @@ class InjectionEngine:
             _WeightRestore(state.name, "weight", param.data.copy(),
                            saved_metadata=golden)
         )
-        bits = fmt.get_metadata_bits(plan.register)
-        for b in plan.bits:
-            bits = flip_bit(bits, b)
+        bits = _corrupt_bitstring(fmt.get_metadata_bits(plan.register),
+                                  plan.bits, plan.op)
         fmt.set_metadata_bits(bits, plan.register)
         param.data[...] = fmt.apply_metadata_corruption(param.data, golden)
         self.injections_applied += 1
@@ -334,11 +374,15 @@ class InjectionEngine:
         layer: str | None = None,
         location: str = "neuron",
         num_bits: int = 1,
+        fault_model=None,
     ) -> ValueInjection:
         """Sample a uniformly random single/multi-bit value injection.
 
         Neuron sampling requires a prior (warm-up) forward pass so output
-        shapes are known.
+        shapes are known.  ``fault_model`` (a
+        :class:`repro.core.faultmodels.FaultModel`) selects the bit pattern
+        and operation; ``None`` keeps the classic single/multi-bit XOR draw
+        byte-for-byte (same RNG consumption, same plans).
         """
         state = self._pick_layer(rng, layer)
         if location == "neuron":
@@ -356,8 +400,16 @@ class InjectionEngine:
             numel = param.data.size
             width = state.weight_format.bit_width if state.weight_format else 32
         index = int(rng.integers(numel))
-        bits = tuple(sorted(rng.choice(width, size=num_bits, replace=False).tolist()))
-        return ValueInjection(state.name, location, index, bits)
+        if fault_model is None:
+            bits = tuple(sorted(
+                rng.choice(width, size=num_bits, replace=False).tolist()))
+            return ValueInjection(state.name, location, index, bits)
+        try:
+            bits = fault_model.sample_bits(rng, width, num_bits)
+        except ValueError as exc:
+            raise InjectionError(str(exc)) from None
+        return ValueInjection(state.name, location, index, bits,
+                              op=fault_model.op, persist=fault_model.persist)
 
     def sample_metadata_injection(
         self,

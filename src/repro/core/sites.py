@@ -7,6 +7,13 @@ keep shared state (INT's scale factor, BFP's shared exponents, AFP's exponent
 bias).  This module names those sites, documents what a flipped bit means in
 each, and maps a site to the format spec + injection kind the campaign runner
 needs.
+
+Beyond the paper's single-bit model, every *value* site also accepts the
+richer fault models of :mod:`repro.core.faultmodels` (burst, stuck-at,
+exhaustive, temporal) — the bit pattern changes, the site does not.
+Metadata sites remain single-bit-only: a metadata register flip is already
+a multi-value event, and the fault-model axis is defined over value words
+(:meth:`InjectionSite.fault_models` reports what each site supports).
 """
 
 from __future__ import annotations
@@ -17,6 +24,10 @@ from ..formats.base import NumberFormat
 from ..formats.registry import make_format
 
 __all__ = ["InjectionSite", "INJECTION_SITES", "injection_sites", "site_by_name"]
+
+#: fault-model specs every value site accepts (metadata sites: single only)
+_VALUE_FAULT_MODELS = ("single", "burst2", "burst4", "stuck0", "stuck1",
+                       "exhaustive", "temporalN")
 
 
 @dataclass(frozen=True)
@@ -34,6 +45,16 @@ class InjectionSite:
 
     def make_format(self) -> NumberFormat:
         return make_format(self.format_spec)
+
+    def fault_models(self) -> tuple[str, ...]:
+        """Fault-model specs applicable at this site."""
+        return _VALUE_FAULT_MODELS if self.kind == "value" else ("single",)
+
+    def supports_fault_model(self, spec) -> bool:
+        """True when ``spec`` (a string or FaultModel) applies at this site."""
+        from .faultmodels import parse_fault_model
+        model = parse_fault_model(spec)
+        return self.kind == "value" or model.spec() == "single"
 
 
 INJECTION_SITES: tuple[InjectionSite, ...] = (

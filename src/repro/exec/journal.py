@@ -65,7 +65,7 @@ from pathlib import Path
 import numpy as np
 
 __all__ = ["CampaignJournal", "JournalMismatch", "campaign_fingerprint",
-           "load_journal"]
+           "load_journal", "KNOWN_RECORD_KINDS"]
 
 JOURNAL_VERSION = 1
 
@@ -96,8 +96,17 @@ def campaign_fingerprint(
     layers: list[str],
     images=None,
     labels=None,
+    fault=None,
+    protect=None,
 ) -> dict:
-    """The identity of a campaign for journal-compatibility checks."""
+    """The identity of a campaign for journal-compatibility checks.
+
+    ``fault`` (fault-model spec) and ``protect`` (protection spec)
+    participate *only* when non-default: a default single-bit unprotected
+    campaign keeps its historical fingerprint, so journals written before
+    fault models existed stay resumable — while resuming one under a
+    different model/protection raises :class:`JournalMismatch`.
+    """
     fp = {
         "kind": kind,
         "location": location,
@@ -107,20 +116,55 @@ def campaign_fingerprint(
         "num_bits": int(num_bits),
         "layers": list(layers),
     }
+    if fault is not None and str(fault) != "single":
+        fp["fault"] = str(fault)
+    if protect is not None and str(protect) != "none":
+        fp["protect"] = str(protect)
     if images is not None and labels is not None:
         fp["data"] = _data_digest(images, labels)
     return fp
 
 
-def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict], int]:
+#: record ``kind`` values this version of the loader understands
+KNOWN_RECORD_KINDS = ("value", "metadata")
+
+#: fault-model specs this loader understands (prefix match for the
+#: parameterised families)
+_KNOWN_FAULT_PREFIXES = ("single", "burst", "stuck", "exhaustive", "temporal")
+
+
+def _record_is_known(entry: dict) -> bool:
+    """False when a record comes from a future schema this loader can't fold.
+
+    Forward compatibility: a journal written by a newer version may carry
+    record ``kind``s or ``fault`` models this code predates.  Such records
+    are *skipped with a count* — never misfolded into the statistics of a
+    plan they don't describe.
+    """
+    kind = entry.get("kind")
+    if kind is not None and kind not in KNOWN_RECORD_KINDS:
+        return False
+    fault = entry.get("fault")
+    if fault is not None and not any(
+            str(fault).startswith(p) for p in _KNOWN_FAULT_PREFIXES):
+        return False
+    return True
+
+
+def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict],
+                                int, int]:
     """Read a journal file, tolerating a torn tail line.
 
-    Returns ``(header, records, corrupt_lines)`` where ``records`` maps
-    ``(layer, seq)`` to the last journaled record for that plan.
+    Returns ``(header, records, corrupt_lines, skipped_unknown)`` where
+    ``records`` maps ``(layer, seq)`` to the last journaled record for that
+    plan and ``skipped_unknown`` counts well-formed records whose ``kind``
+    or ``fault`` field this loader does not understand (written by a newer
+    version — skipped, with a warning, rather than misinterpreted).
     """
     header: dict | None = None
     records: dict[tuple[str, int], dict] = {}
     corrupt = 0
+    skipped_unknown = 0
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -138,7 +182,9 @@ def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict], int]:
             if etype == "header" and header is None:
                 header = entry
             elif etype == "injection":
-                if not _fold_record(records, entry):
+                if not _record_is_known(entry):
+                    skipped_unknown += 1
+                elif not _fold_record(records, entry):
                     corrupt += 1
             elif etype == "batch":
                 batched = entry.get("records")
@@ -146,11 +192,19 @@ def load_journal(path) -> tuple[dict | None, dict[tuple[str, int], dict], int]:
                     corrupt += 1
                     continue
                 for rec in batched:
-                    if not isinstance(rec, dict) \
-                            or not _fold_record(records, rec):
+                    if not isinstance(rec, dict):
+                        corrupt += 1
+                    elif not _record_is_known(rec):
+                        skipped_unknown += 1
+                    elif not _fold_record(records, rec):
                         corrupt += 1
             # quarantine (and unknown future) entries are advisory: skipped
-    return header, records, corrupt
+    if skipped_unknown:
+        import logging
+        logging.getLogger("repro.exec").warning(
+            "journal %s: skipped %d record(s) with an unknown kind/fault "
+            "(written by a newer version?)", path, skipped_unknown)
+    return header, records, corrupt, skipped_unknown
 
 
 def _fold_record(records: dict, entry: dict) -> bool:
@@ -188,7 +242,7 @@ class CampaignJournal:
         path = Path(path)
         completed: dict[tuple[str, int], dict] = {}
         if path.exists() and path.stat().st_size > 0:
-            header, completed, corrupt = load_journal(path)
+            header, completed, corrupt, _skipped = load_journal(path)
             if header is None:
                 if completed:
                     raise JournalMismatch(

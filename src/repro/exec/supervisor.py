@@ -711,6 +711,8 @@ def run_parallel_campaign(
     journal=None,
     completed_records: dict | None = None,
     progress=None,
+    fault_spec=None,
+    protection=None,
 ) -> ParallelOutcome:
     """Execute a campaign's outstanding plans on a supervised worker pool.
 
@@ -728,7 +730,8 @@ def run_parallel_campaign(
         _run_serial(platform, golden, images, target_layers, sampling,
                     kind, location, use_resume, journal, completed_records,
                     injection_latency=config.injection_latency,
-                    fault_batch=config.fault_batch, progress=progress)
+                    fault_batch=config.fault_batch, progress=progress,
+                    fault_spec=fault_spec, protection=protection)
         return ParallelOutcome(records=completed_records)
     shards = plan_shards(sampling, completed=set(completed_records),
                          chunk_size=config.chunk_size, workers=config.workers,
@@ -767,6 +770,8 @@ def run_parallel_campaign(
                             shm_cache=shm,
                             injection_latency=config.injection_latency,
                             fault_batch=config.fault_batch,
+                            fault_spec=fault_spec,
+                            protection=protection,
                             fault=config.worker_fault)
     supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
                                     kind=kind, location=location,

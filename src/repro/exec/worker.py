@@ -95,6 +95,13 @@ class WorkerPayload:
     #: independent faults evaluated per forward pass (fault-axis batching);
     #: records stay per-plan and bit-identical to the K=1 loop
     fault_batch: int = 1
+    #: the campaign's fault-model spec, stamped into records when
+    #: non-default (``"single"``/None leaves records byte-identical)
+    fault_spec: str | None = None
+    #: the campaign's ECC protection model (None = unprotected); verdicts
+    #: are a pure function of the plan, so worker-side classification is
+    #: bit-identical to the serial path
+    protection: object | None = None
     #: test hook: called as ``fault(worker_id, shard, attempt)`` before a
     #: shard attempt executes — tests use it to hang, crash (``os._exit``)
     #: or raise on chosen shards to exercise the supervision machinery
@@ -207,7 +214,9 @@ def worker_main(worker_id: int, payload: WorkerPayload,
                                 payload.platform, payload.golden,
                                 payload.images,
                                 [plans[seq] for seq in group],
-                                payload.use_resume)
+                                payload.use_resume,
+                                fault_spec=payload.fault_spec,
+                                protection=payload.protection)
                             for seq, record in zip(group, group_records):
                                 record["layer"] = shard.layer
                                 record["seq"] = seq

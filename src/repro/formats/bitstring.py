@@ -15,6 +15,7 @@ import numpy as np
 __all__ = [
     "Bitstring",
     "flip_bit",
+    "set_bit",
     "bits_to_uint",
     "uint_to_bits",
     "int_to_twos_complement",
@@ -49,6 +50,22 @@ def flip_bit(bits: Bitstring, position: int) -> Bitstring:
     flipped = list(bits)
     flipped[position] ^= 1
     return flipped
+
+
+def set_bit(bits: Bitstring, position: int, value: int) -> Bitstring:
+    """Return a copy of ``bits`` with the bit at ``position`` forced to ``value``.
+
+    The stuck-at fault model's primitive: unlike :func:`flip_bit` (XOR), a
+    stuck-at corruption is idempotent — forcing a bit to the value it
+    already holds leaves the word unchanged.
+    """
+    if not 0 <= position < len(bits):
+        raise IndexError(f"bit position {position} out of range for {len(bits)}-bit value")
+    if value not in (0, 1):
+        raise ValueError(f"bit value must be 0 or 1, got {value!r}")
+    forced = list(bits)
+    forced[position] = value
+    return forced
 
 
 def bits_to_uint(bits: Bitstring) -> int:

@@ -48,7 +48,7 @@ import numpy as np
 from .afp import AdaptivFloat
 from .base import NumberFormat
 from .bfp import BlockFloatingPoint
-from .bitstring import bits_to_float32, flip_bit, float32_to_bits
+from .bitstring import bits_to_float32, flip_bit, float32_to_bits, set_bit
 from .fp import FloatingPoint
 from .fxp import FixedPoint
 from .intq import IntegerQuant
@@ -63,29 +63,43 @@ _MAX_FUSED_WIDTH = 62
 _POSIT_DECODE: dict[tuple[int, int], np.ndarray] = {}
 
 
-def flip_value(fmt: NumberFormat | None, value: float,
-               bit_positions: Sequence[int], block: int = 0) -> float:
-    """Encode → flip → decode one value under ``fmt`` (FP32 fabric if None)."""
-    if fmt is None:
-        bits = float32_to_bits(value)
-        for b in bit_positions:
+def _apply_bits(bits, bit_positions: Sequence[int], op: str):
+    """Apply ``op`` at every position of a bitstring (scalar fault primitive)."""
+    for b in bit_positions:
+        if op == "xor":
             bits = flip_bit(bits, b)
+        elif op in ("set", "clear"):
+            bits = set_bit(bits, b, 1 if op == "set" else 0)
+        else:
+            raise ValueError(f"unknown bit operation {op!r}; "
+                             "valid: xor, set, clear")
+    return bits
+
+
+def flip_value(fmt: NumberFormat | None, value: float,
+               bit_positions: Sequence[int], block: int = 0,
+               op: str = "xor") -> float:
+    """Encode → corrupt → decode one value under ``fmt`` (FP32 fabric if None).
+
+    ``op`` selects the corruption: ``"xor"`` flips the bits (the transient
+    SEU model), ``"set"`` / ``"clear"`` force them to 1 / 0 (stuck-at).
+    """
+    if fmt is None:
+        bits = _apply_bits(float32_to_bits(value), bit_positions, op)
         return bits_to_float32(bits)
     if isinstance(fmt, BlockFloatingPoint):
-        bits = fmt.real_to_format(value, block=block)
-        for b in bit_positions:
-            bits = flip_bit(bits, b)
+        bits = _apply_bits(fmt.real_to_format(value, block=block),
+                           bit_positions, op)
         return fmt.format_to_real(bits, block=block)
-    bits = fmt.real_to_format(value)
-    for b in bit_positions:
-        bits = flip_bit(bits, b)
+    bits = _apply_bits(fmt.real_to_format(value), bit_positions, op)
     return fmt.format_to_real(bits)
 
 
 def flip_values(fmt: NumberFormat | None, values: np.ndarray,
                 bit_positions: Sequence[int],
-                blocks: np.ndarray | None = None) -> np.ndarray:
-    """Apply the same bit flip to every element of ``values`` in one pass.
+                blocks: np.ndarray | None = None,
+                op: str = "xor") -> np.ndarray:
+    """Apply the same bit corruption to every element of ``values`` in one pass.
 
     Parameters
     ----------
@@ -94,10 +108,13 @@ def flip_values(fmt: NumberFormat | None, values: np.ndarray,
     values:
         1-D float array of victim values, one per batch sample.
     bit_positions:
-        MSB-first bit indices to flip (position 0 is the sign bit).
+        MSB-first bit indices to corrupt (position 0 is the sign bit).
     blocks:
         For block formats: per-element block-register index (same length as
         ``values``); ignored otherwise.
+    op:
+        ``"xor"`` flips the bits; ``"set"`` / ``"clear"`` force them to
+        1 / 0 (the stuck-at fault model).
 
     Returns
     -------
@@ -106,15 +123,16 @@ def flip_values(fmt: NumberFormat | None, values: np.ndarray,
     flat = np.asarray(values, dtype=np.float32).reshape(-1)
     width = 32 if fmt is None else fmt.bit_width
     mask = _xor_mask(bit_positions, width)
-    out = _flip_fused(fmt, flat, mask, blocks)
+    out = _flip_fused(fmt, flat, mask, blocks, op)
     if out is None:
-        out = _flip_memoized(fmt, flat, bit_positions)
+        out = _flip_memoized(fmt, flat, bit_positions, op)
     return out
 
 
 def flip_values_batched(fmt: NumberFormat | None, values: np.ndarray,
                         lane_bits: Sequence[Sequence[int]],
-                        blocks: np.ndarray | None = None) -> np.ndarray:
+                        blocks: np.ndarray | None = None,
+                        op: str = "xor") -> np.ndarray:
     """Apply K independent flips to the K equal lane slices of ``values``.
 
     ``values`` holds K lane slices concatenated along axis 0 (lane ``k`` is
@@ -122,6 +140,7 @@ def flip_values_batched(fmt: NumberFormat | None, values: np.ndarray,
     ``lane_bits[k]`` names the MSB-first bit positions flipped in lane ``k``
     only.  ``blocks``, when given, is per-element (already lane-concatenated)
     exactly like ``values``.  With ``K == 1`` this is :func:`flip_values`.
+    ``op`` applies to every lane (a campaign runs one fault model).
 
     Every bit position is validated (``IndexError``) before any lane is
     corrupted, so errors surface in the same order as K sequential
@@ -138,16 +157,17 @@ def flip_values_batched(fmt: NumberFormat | None, values: np.ndarray,
     width = 32 if fmt is None else fmt.bit_width
     lane_masks = [_xor_mask(bits, width) for bits in lanes]
     if len(lanes) == 1:
-        out = _flip_fused(fmt, flat, lane_masks[0], blocks)
-        return out if out is not None else _flip_memoized(fmt, flat, lanes[0])
+        out = _flip_fused(fmt, flat, lane_masks[0], blocks, op)
+        return out if out is not None \
+            else _flip_memoized(fmt, flat, lanes[0], op)
     masks = np.repeat(np.asarray(lane_masks, dtype=np.int64), lane_size)
-    out = _flip_fused(fmt, flat, masks, blocks)
+    out = _flip_fused(fmt, flat, masks, blocks, op)
     if out is not None:
         return out
     out = np.empty(flat.size, dtype=np.float32)
     for k, bits in enumerate(lanes):
         lane = slice(k * lane_size, (k + 1) * lane_size)
-        out[lane] = _flip_memoized(fmt, flat[lane], bits)
+        out[lane] = _flip_memoized(fmt, flat[lane], bits, op)
     return out
 
 
@@ -169,42 +189,63 @@ def _xor_mask(bit_positions: Sequence[int], width: int) -> int:
     return mask
 
 
+def _apply_masks(packed, masks, op: str):
+    """Apply ``op`` (xor / set / clear) at the packed-word level.
+
+    Every fused kernel funnels its encoded words through here, so one
+    dispatch point covers all three fault operations for every format
+    family.  ``masks`` may be one int or a per-element array; the packed
+    words always fit in the format's width, so ``& ~masks`` (clear) never
+    touches bits above the word.
+    """
+    if op == "set":
+        return packed | masks
+    if op == "clear":
+        return packed & ~masks
+    if op != "xor":
+        raise ValueError(f"unknown bit operation {op!r}; valid: xor, set, clear")
+    return packed ^ masks
+
+
 def _flip_fused(fmt: NumberFormat | None, values: np.ndarray, masks,
-                blocks: np.ndarray | None) -> np.ndarray | None:
+                blocks: np.ndarray | None, op: str = "xor"
+                ) -> np.ndarray | None:
     """Route to the fused kernel for ``fmt``; None = no fused kernel applies.
 
     ``masks`` is either one int (the same flip for every element) or a
     per-element int64 array (multi-fault batching) — every kernel below is a
-    single ``packed ^ masks`` away from supporting both.
+    single :func:`_apply_masks` call away from supporting both, and ``op``
+    generalizes that call to set/clear for the stuck-at fault model.
     """
     if fmt is None:
-        return _flip_fp32_fabric(values, masks)
+        return _flip_fp32_fabric(values, masks, op)
     if isinstance(fmt, BlockFloatingPoint):
-        return _flip_bfp(fmt, values, masks, blocks)
+        return _flip_bfp(fmt, values, masks, blocks, op)
     if fmt.bit_width > _MAX_FUSED_WIDTH:
         return None  # packed int64 arithmetic would overflow
     if isinstance(fmt, FloatingPoint):
         if not np.isfinite(fmt.max_value):
             return None  # extreme exponent widths overflow the float64 path
-        return _flip_fp(fmt, values, masks)
+        return _flip_fp(fmt, values, masks, op)
     if isinstance(fmt, AdaptivFloat):
         if fmt.exp_bits > 9:
             return None  # decode exponents can exceed float64's range
-        return _flip_afp(fmt, values, masks)
+        return _flip_afp(fmt, values, masks, op)
     if isinstance(fmt, IntegerQuant):
-        return _flip_intq(fmt, values, masks)
+        return _flip_intq(fmt, values, masks, op)
     if isinstance(fmt, FixedPoint):
-        return _flip_fxp(fmt, values, masks)
+        return _flip_fxp(fmt, values, masks, op)
     if isinstance(fmt, Posit):
-        return _flip_posit(fmt, values, masks)
+        return _flip_posit(fmt, values, masks, op)
     return None
 
 
 # ----------------------------------------------------------------------
 # native FP32: one XOR over the reinterpreted batch
 # ----------------------------------------------------------------------
-def _flip_fp32_fabric(values: np.ndarray, masks) -> np.ndarray:
-    raw = values.view(np.uint32) ^ np.asarray(masks, dtype=np.uint32)
+def _flip_fp32_fabric(values: np.ndarray, masks, op: str = "xor") -> np.ndarray:
+    raw = _apply_masks(values.view(np.uint32),
+                       np.asarray(masks, dtype=np.uint32), op)
     return raw.view(np.float32).copy()
 
 
@@ -212,7 +253,7 @@ def _flip_fp32_fabric(values: np.ndarray, masks) -> np.ndarray:
 # BFP: closed-form sign/mantissa arithmetic under the block registers
 # ----------------------------------------------------------------------
 def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray, masks,
-              blocks: np.ndarray | None) -> np.ndarray:
+              blocks: np.ndarray | None, op: str = "xor") -> np.ndarray:
     meta = fmt._require_metadata()
     if blocks is None:
         blocks = np.zeros(values.size, dtype=np.int64)
@@ -230,7 +271,7 @@ def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray, masks,
     sign = (np.signbit(v64) & ~nan_mask).astype(np.int64)
 
     packed = (sign << fmt.mantissa_bits) | mant
-    packed = packed ^ masks
+    packed = _apply_masks(packed, masks, op)
     sign = packed >> fmt.mantissa_bits
     mant = packed & fmt.max_mantissa
 
@@ -241,7 +282,8 @@ def _flip_bfp(fmt: BlockFloatingPoint, values: np.ndarray, masks,
 # ----------------------------------------------------------------------
 # FloatingPoint: bulk [sign | exponent | mantissa] field arithmetic
 # ----------------------------------------------------------------------
-def _flip_fp(fmt: FloatingPoint, values: np.ndarray, masks) -> np.ndarray:
+def _flip_fp(fmt: FloatingPoint, values: np.ndarray, masks,
+             op: str = "xor") -> np.ndarray:
     e, m = fmt.exp_bits, fmt.mantissa_bits
     v64 = values.astype(np.float64)
     nan_mask = np.isnan(v64)
@@ -267,7 +309,7 @@ def _flip_fp(fmt: FloatingPoint, values: np.ndarray, masks) -> np.ndarray:
     mant = np.where(nan_mask, (1 << m) - 1, mant)
 
     packed = (sign << (e + m)) | (exp_field << m) | mant
-    packed = packed ^ masks
+    packed = _apply_masks(packed, masks, op)
 
     sign_bit = (packed >> (e + m)) & 1
     sign_f = np.where(sign_bit == 1, -1.0, 1.0)
@@ -290,7 +332,8 @@ def _flip_fp(fmt: FloatingPoint, values: np.ndarray, masks) -> np.ndarray:
 # ----------------------------------------------------------------------
 # AdaptivFloat: FloatingPoint fields under the shared tensor bias
 # ----------------------------------------------------------------------
-def _flip_afp(fmt: AdaptivFloat, values: np.ndarray, masks) -> np.ndarray:
+def _flip_afp(fmt: AdaptivFloat, values: np.ndarray, masks,
+              op: str = "xor") -> np.ndarray:
     if np.isnan(values).any():
         raise ValueError("AdaptivFloat has no NaN encoding")
     bias = fmt.exp_bias
@@ -316,7 +359,7 @@ def _flip_afp(fmt: AdaptivFloat, values: np.ndarray, masks) -> np.ndarray:
         mant = np.where(flush, 0, mant)
 
     packed = (sign << (e + m)) | (exp_field << m) | mant
-    packed = packed ^ masks
+    packed = _apply_masks(packed, masks, op)
 
     sign_bit = (packed >> (e + m)) & 1
     sign_f = np.where(sign_bit == 1, -1.0, 1.0)
@@ -336,29 +379,32 @@ def _flip_afp(fmt: AdaptivFloat, values: np.ndarray, masks) -> np.ndarray:
 # ----------------------------------------------------------------------
 # IntegerQuant / FixedPoint: bulk two's-complement codes
 # ----------------------------------------------------------------------
-def _twos_complement_flip(codes: np.ndarray, masks, width: int) -> np.ndarray:
-    """XOR ``masks`` into ``width``-bit two's-complement codes, sign-extended."""
+def _twos_complement_flip(codes: np.ndarray, masks, width: int,
+                          op: str = "xor") -> np.ndarray:
+    """Apply ``masks`` to ``width``-bit two's-complement codes, sign-extended."""
     u = codes & ((1 << width) - 1)
-    u = u ^ masks
+    u = _apply_masks(u, masks, op) & ((1 << width) - 1)
     return u - ((u >> (width - 1)) << width)
 
 
-def _flip_intq(fmt: IntegerQuant, values: np.ndarray, masks) -> np.ndarray:
+def _flip_intq(fmt: IntegerQuant, values: np.ndarray, masks,
+               op: str = "xor") -> np.ndarray:
     scale = fmt.scale
     raw = np.round(values.astype(np.float64) / scale)
     # integer pipelines carry no NaN; overflow saturates (scalar semantics)
     raw = np.nan_to_num(raw, nan=0.0, posinf=fmt.max_code, neginf=-fmt.max_code)
     codes = np.clip(raw, -fmt.max_code, fmt.max_code).astype(np.int64)
-    flipped = _twos_complement_flip(codes, masks, fmt.bit_width)
+    flipped = _twos_complement_flip(codes, masks, fmt.bit_width, op)
     return (flipped.astype(np.float64) * scale).astype(np.float32)
 
 
-def _flip_fxp(fmt: FixedPoint, values: np.ndarray, masks) -> np.ndarray:
+def _flip_fxp(fmt: FixedPoint, values: np.ndarray, masks,
+              op: str = "xor") -> np.ndarray:
     if np.isnan(values).any():
         raise ValueError("cannot encode NaN in a fixed-point format")
     codes = np.round(values.astype(np.float64) / fmt.scale)
     codes = np.clip(codes, fmt.min_code, fmt.max_code).astype(np.int64)
-    flipped = _twos_complement_flip(codes, masks, fmt.bit_width)
+    flipped = _twos_complement_flip(codes, masks, fmt.bit_width, op)
     return (flipped.astype(np.float64) * fmt.scale).astype(np.float32)
 
 
@@ -374,7 +420,8 @@ def _posit_decode_table(n: int, es: int) -> np.ndarray:
     return _POSIT_DECODE[key]
 
 
-def _flip_posit(fmt: Posit, values: np.ndarray, masks) -> np.ndarray:
+def _flip_posit(fmt: Posit, values: np.ndarray, masks,
+                op: str = "xor") -> np.ndarray:
     n, es = fmt.n, fmt.es
     tbl_values, tbl_patterns = _table(n, es)
     v64 = values.astype(np.float64)
@@ -398,7 +445,7 @@ def _flip_posit(fmt: Posit, values: np.ndarray, masks) -> np.ndarray:
     idx = idx - shift
     pattern = tbl_patterns[idx]
     pattern = np.where(nan_mask, np.int64(1 << (n - 1)), pattern)  # NaR
-    pattern = pattern ^ masks
+    pattern = _apply_masks(pattern, masks, op)
     return _posit_decode_table(n, es)[pattern].astype(np.float32)
 
 
@@ -406,7 +453,8 @@ def _flip_posit(fmt: Posit, values: np.ndarray, masks) -> np.ndarray:
 # generic formats: scalar kernel memoized over unique bit patterns
 # ----------------------------------------------------------------------
 def _flip_memoized(fmt: NumberFormat, values: np.ndarray,
-                   bit_positions: Sequence[int]) -> np.ndarray:
+                   bit_positions: Sequence[int],
+                   op: str = "xor") -> np.ndarray:
     # memoize over float32 *bit patterns*: np.unique on floats collapses
     # NaNs by payload-equality rules that changed across numpy versions
     # (equal_nan) and collapses -0.0 with +0.0, which encodes differently
@@ -416,5 +464,6 @@ def _flip_memoized(fmt: NumberFormat, values: np.ndarray,
     unique_values = uniques.view(np.float32)
     corrupted = np.empty(uniques.size, dtype=np.float32)
     for i, v in enumerate(unique_values):
-        corrupted[i] = np.float32(flip_value(fmt, float(v), bit_positions))
+        corrupted[i] = np.float32(flip_value(fmt, float(v), bit_positions,
+                                             op=op))
     return corrupted[inverse].reshape(values.shape)

@@ -631,7 +631,7 @@ def journal_progress(path: str) -> dict:
     from ..analysis.confidence import wilson_interval
     from ..exec.journal import load_journal
 
-    header, records, corrupt = load_journal(path)
+    header, records, corrupt, _skipped = load_journal(path)
     fingerprint = (header or {}).get("fingerprint", {})
     layer_names = list(fingerprint.get("layers", ()))
     budget = int(fingerprint.get("injections_per_layer", 0) or 0)

@@ -135,12 +135,17 @@ def _traced_campaign(model, format_spec, data, trace_path,
 
 def run_mode(mode: str, model, format_spec, data, tmp_path, *,
              injections_per_layer: int = 5, seed: int = 13,
-             interrupt_after: int = 4, serve: bool = False) -> DifferentialOutcome:
+             interrupt_after: int = 4, serve: bool = False,
+             fault_model="single", protect="none",
+             layers=None) -> DifferentialOutcome:
     """Run the seeded campaign under ``mode`` and bundle its surfaces.
 
     Every mode uses the same ``(format_spec, seed, injections_per_layer,
-    data)`` identity, so any observable difference between two returned
-    outcomes is an executor bug, not a campaign difference.
+    data)`` identity — including the fault model and protection
+    (``fault_model`` / ``protect`` / ``layers`` extend the identity to the
+    non-default injectors of :mod:`repro.core.faultmodels`) — so any
+    observable difference between two returned outcomes is an executor
+    bug, not a campaign difference.
 
     ``serve=True`` additionally runs the campaign with a live observability
     server on an ephemeral port and captures the final schema-validated
@@ -154,7 +159,8 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
         fault_batch = int(k)
     common = dict(kind="value", location="neuron",
                   injections_per_layer=injections_per_layer, seed=seed,
-                  fault_batch=fault_batch)
+                  fault_batch=fault_batch, fault_model=fault_model,
+                  protect=protect, layers=layers)
     server = None
     if serve:
         from repro.obs.live import LiveServer

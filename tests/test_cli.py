@@ -176,3 +176,73 @@ class TestObservabilityCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "phase" in out  # profiler table shown at -v
+
+
+class TestFaultModelCLI:
+    """--fault-model / --burst / --stuck-at / --exhaustive / --protect and
+    the `repro harden` subcommand (validation fails fast, before training)."""
+
+    def test_burst_flag_rejects_invalid_length(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--model", "simple_cnn", "--burst", "3"])
+        assert "[2, 4]" in capsys.readouterr().err
+
+    def test_stuck_at_flag_rejects_invalid_value(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--model", "simple_cnn", "--stuck-at", "2"])
+        assert "0 or 1" in capsys.readouterr().err
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--model", "simple_cnn", "--stride", "0"])
+
+    def test_conflicting_fault_flags_fail_fast(self, capsys):
+        code = main(["campaign", *CHEAP, "--burst", "2", "--stuck-at", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "conflicting fault-model flags" in err
+        assert "--burst 2" in err and "--stuck-at 0" in err
+
+    def test_stride_without_burst_fails_fast(self, capsys):
+        code = main(["campaign", *CHEAP, "--stride", "2"])
+        assert code == 2
+        assert "burst" in capsys.readouterr().err
+
+    def test_unknown_fault_model_names_the_valid_specs(self, capsys):
+        code = main(["campaign", *CHEAP, "--fault-model", "rowhammer"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "single, burst2" in err and "temporalN" in err
+
+    def test_unknown_protection_names_the_valid_models(self, capsys):
+        code = main(["campaign", *CHEAP, "--protect", "hamming"])
+        assert code == 2
+        assert "secded" in capsys.readouterr().err
+
+    def test_campaign_burst_with_secded(self, capsys):
+        code = main(["campaign", *CHEAP, "--format", "fp16",
+                     "--injections", "3", "--batch", "8",
+                     "--burst", "2", "--protect", "secded"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # per-pattern breakdown + ECC verdict totals are printed
+        assert "len2" in out
+        assert "ECC verdicts" in out and "detected=" in out
+
+    def test_harden_end_to_end(self, capsys, tmp_path):
+        import json as _json
+        from repro.core import validate_hardening_report
+        out_path = tmp_path / "harden.json"
+        code = main(["harden", *CHEAP, "--format", "fp16",
+                     "--injections", "6", "--batch", "8",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "harden-first ranking under secded" in out
+        assert "reduction/bit" in out
+        report = _json.loads(out_path.read_text())
+        assert validate_hardening_report(report) == report
+        assert report["protection"] == "secded"

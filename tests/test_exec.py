@@ -133,7 +133,7 @@ class TestJournal:
         with CampaignJournal.open(path, self.FP)[0] as journal:
             journal.append_record({"layer": "l", "seq": 0,
                                    "delta_loss": value})
-        _, completed, _ = load_journal(path)
+        _, completed, _, _ = load_journal(path)
         assert completed[("l", 0)]["delta_loss"] == value  # bit-exact
 
     def test_fingerprint_mismatch_rejected(self, tmp_path):
@@ -148,7 +148,7 @@ class TestJournal:
             journal.append_record({"layer": "l", "seq": 0, "delta_loss": 1.0})
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"type": "injection", "layer": "l", "seq": 1, "de')
-        header, completed, corrupt = load_journal(path)
+        header, completed, corrupt, _ = load_journal(path)
         assert header is not None
         assert set(completed) == {("l", 0)}
         assert corrupt == 1
@@ -162,7 +162,7 @@ class TestJournal:
         with CampaignJournal.open(path, self.FP)[0] as journal:
             journal.append_record({"layer": "l", "seq": 0, "delta_loss": 1.0})
             journal.append_record({"layer": "l", "seq": 0, "delta_loss": 2.0})
-        _, completed, _ = load_journal(path)
+        _, completed, _, _ = load_journal(path)
         assert completed[("l", 0)]["delta_loss"] == 2.0
 
     def test_quarantine_entries_are_advisory(self, tmp_path):
@@ -171,7 +171,7 @@ class TestJournal:
             journal.append_quarantine({"shard_id": 3, "layer": "l",
                                        "seqs": [1, 2], "attempts": 3,
                                        "reason": "timeout"})
-        _, completed, corrupt = load_journal(path)
+        _, completed, corrupt, _ = load_journal(path)
         assert completed == {} and corrupt == 0  # skipped, not failed
 
     def test_fingerprint_includes_data_digest(self):
@@ -473,7 +473,7 @@ class TestJournalBatch:
             ])
             assert journal.batches_written == 1
             assert journal.records_written == 2
-        _, completed, corrupt = load_journal(path)
+        _, completed, corrupt, _ = load_journal(path)
         assert corrupt == 0
         assert completed[("a", 0)]["delta_loss"] == 0.5
         assert completed[("a", 1)]["delta_loss"] == 0.25
@@ -512,7 +512,7 @@ class TestJournalBatch:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"type": "batch", "n": 2, "records": [{"layer": "a", '
                      '"seq": 2}, {"layer": "a", "se')
-        header, completed, corrupt = load_journal(path)
+        header, completed, corrupt, _ = load_journal(path)
         assert header is not None and corrupt == 1
         assert set(completed) == {("a", 0), ("a", 1)}
         # and the journal file can still be resumed from
@@ -530,7 +530,7 @@ class TestJournalBatch:
             journal.append_record({"layer": "a", "seq": 0, "delta_loss": 2.0})
             journal.append_batch([{"layer": "a", "seq": 0, "delta_loss": 3.0},
                                   {"layer": "b", "seq": 0, "delta_loss": 4.0}])
-        _, completed, _ = load_journal(path)
+        _, completed, _, _ = load_journal(path)
         assert completed[("a", 0)]["delta_loss"] == 3.0
         assert completed[("a", 1)]["delta_loss"] == 9.0
         assert completed[("b", 0)]["delta_loss"] == 4.0
@@ -541,7 +541,7 @@ class TestJournalBatch:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write('{"type": "batch", "n": 1, "records": "nope"}\n')
             fh.write('{"type": "batch", "n": 1, "records": [42]}\n')
-        _, completed, corrupt = load_journal(path)
+        _, completed, corrupt, _ = load_journal(path)
         assert completed == {} and corrupt == 2
 
 
@@ -588,7 +588,7 @@ class TestJournalBatchProperties:
             with CampaignJournal.open(path, self.FP)[0] as journal:
                 for batch in batches:
                     journal.append_batch(batch)
-            _, loaded, corrupt = load_journal(path)
+            _, loaded, corrupt, _ = load_journal(path)
         assert corrupt == 0
         assert {k: _strip_type(v) for k, v in loaded.items()} \
             == _fold_last_wins(batches)
@@ -619,7 +619,7 @@ class TestJournalBatchProperties:
                           label="cut") % (span + 1)
             with open(path, "r+b") as fh:
                 fh.truncate(cut)
-            header, loaded, corrupt = load_journal(path)
+            header, loaded, corrupt, _ = load_journal(path)
         assert header is not None  # the cut is always past the header
         # a line survives exactly when every byte up to its closing '}' is
         # present: losing only the trailing newline still parses (end - 1),
@@ -648,7 +648,7 @@ class TestJournalBatchProperties:
                     else:
                         for rec in batch:
                             journal.append_record(rec)
-            _, loaded, corrupt = load_journal(path)
+            _, loaded, corrupt, _ = load_journal(path)
         assert corrupt == 0
         got = loaded[("x", 0)]["delta_loss"]
         assert got == values[-1] or (got == 0.0 and values[-1] == 0.0)
