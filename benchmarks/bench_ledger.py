@@ -1,0 +1,97 @@
+"""Ledger write overhead: the run-history cost contract.
+
+The campaign ledger (``repro.obs.ledger``) records one ``runs`` row plus one
+``run_layers`` row per layer at the *end* of every campaign — it never sits
+on the injection hot path.  The contract is that the end-of-campaign write
+(timed into ``telemetry["ledger_seconds"]`` by the campaign driver) stays
+under 1% of the campaign's own wall-clock, so enabling persistent run
+history is free for any campaign worth recording.
+
+Two costs are measured:
+
+1. *Contract*: a realistic campaign (the standard resnet + batch fixtures)
+   recording into an already-open :class:`CampaignLedger` with the
+   ``git describe`` probe pre-warmed — the steady-state configuration every
+   long-lived campaign sequence converges to.  Asserted < 1%.
+2. *Cold open* (informational): the same write through a path spec, paying
+   sqlite file creation, schema DDL and the ``git describe`` subprocess.
+   This is a once-per-ledger cost, not a per-campaign one, so it is
+   reported but not gated.
+
+Emits ``BENCH_ledger.json`` via the exporter so the overhead trajectory is
+diffable per PR.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core import GoldenEye, run_campaign
+from repro.obs import write_bench_json
+from repro.obs.ledger import CampaignLedger, git_describe
+
+from .conftest import print_block
+
+INJECTIONS_PER_LAYER = 8
+SPEC = "fp16"
+OVERHEAD_BUDGET = 0.01  # ledger write must cost < 1% of campaign wall time
+
+
+def test_ledger_write_overhead_under_1pct(tmp_path, resnet, batch):
+    model, _ = resnet
+    images, labels = batch
+    model.eval()
+
+    git_describe()  # pre-warm the cached subprocess probe
+
+    # --- contract: steady-state write into an open ledger
+    with CampaignLedger(str(tmp_path / "ledger.sqlite")) as ledger:
+        with GoldenEye(model, SPEC) as ge:
+            result = run_campaign(
+                ge, images, labels,
+                injections_per_layer=INJECTIONS_PER_LAYER, seed=0,
+                ledger=ledger)
+        assert result.ledger_run_id is not None
+        rows = ledger.runs()
+    wall = result.telemetry["wall_seconds"]
+    ledger_s = result.telemetry["ledger_seconds"]
+    share = ledger_s / wall
+
+    # --- informational: cold open through a fresh path spec
+    cold_db = str(tmp_path / "cold.sqlite")
+    with GoldenEye(model, SPEC) as ge:
+        cold = run_campaign(
+            ge, images, labels,
+            injections_per_layer=INJECTIONS_PER_LAYER, seed=0,
+            ledger=cold_db)
+    cold_s = cold.telemetry["ledger_seconds"]
+    assert cold.ledger_run_id is not None
+    assert os.path.exists(cold_db)
+
+    layers = len(result.per_layer)
+    lines = [
+        "Ledger write overhead (contract: < 1% of campaign wall time)",
+        f"  campaign wall-clock     {wall * 1000:9.1f} ms "
+        f"({layers} layers, {layers * INJECTIONS_PER_LAYER} injections)",
+        f"  ledger write (open db)  {ledger_s * 1000:9.3f} ms "
+        f"({share * 100:.3f}% of campaign)",
+        f"  ledger write (cold db)  {cold_s * 1000:9.3f} ms "
+        f"({cold_s / cold.telemetry['wall_seconds'] * 100:.3f}%, "
+        f"informational: once per ledger file)",
+        f"  rows recorded           {len(rows):9d}",
+    ]
+    print_block("\n".join(lines))
+
+    write_bench_json("ledger", {
+        "campaign_wall_s": wall,
+        "ledger_write_s": ledger_s,
+        "ledger_overhead_share": share,
+        "cold_open_write_s": cold_s,
+        "layers": layers,
+        "injections_per_layer": INJECTIONS_PER_LAYER,
+    })
+
+    assert share < OVERHEAD_BUDGET, (
+        f"ledger write costs {share * 100:.3f}% of campaign wall-clock "
+        f"(budget: {OVERHEAD_BUDGET * 100:.0f}%)")

@@ -11,6 +11,7 @@ from .confidence import (
     ConfidenceBin,
     ConfidenceStudy,
     confidence_stratified_sdc,
+    two_proportion_test,
     wilson_interval,
 )
 from .cost import LayerCost, cost_table, count_macs, mac_cost, model_cost
@@ -43,6 +44,7 @@ __all__ = [
     "ConfidenceBin",
     "ConfidenceStudy",
     "confidence_stratified_sdc",
+    "two_proportion_test",
     "wilson_interval",
     "LayerSensitivity",
     "MixedPrecisionResult",

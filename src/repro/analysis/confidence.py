@@ -22,7 +22,7 @@ from ..core.metrics import softmax_probs
 from .tables import render_table
 
 __all__ = ["ConfidenceBin", "ConfidenceStudy", "confidence_stratified_sdc",
-           "wilson_interval"]
+           "wilson_interval", "two_proportion_test"]
 
 
 def wilson_interval(successes: float, trials: int,
@@ -46,6 +46,36 @@ def wilson_interval(successes: float, trials: int,
     center = (p + z2 / (2.0 * n)) / denom
     spread = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
     return (max(0.0, center - spread), min(1.0, center + spread))
+
+
+def two_proportion_test(successes_a: float, trials_a: int,
+                        successes_b: float, trials_b: int
+                        ) -> tuple[float, float]:
+    """Two-sided pooled two-proportion z-test: ``(z, p_value)``.
+
+    The significance test behind ``repro diff``: are two campaigns' SDC
+    rates at a layer drawn from the same underlying proportion?  ``z`` is
+    signed (positive when sample *b* has the higher rate) and the p-value
+    is two-sided via the complementary error function.  As with
+    :func:`wilson_interval`, success counts may be fractional (summed
+    per-injection SDC rates).  Degenerate inputs — an empty sample, or a
+    pooled proportion of exactly 0 or 1 with equal rates — return
+    ``(0.0, 1.0)``: no evidence of a difference.
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        return (0.0, 1.0)
+    n_a, n_b = float(trials_a), float(trials_b)
+    p_a = min(1.0, max(0.0, float(successes_a) / n_a))
+    p_b = min(1.0, max(0.0, float(successes_b) / n_b))
+    pooled = (p_a * n_a + p_b * n_b) / (n_a + n_b)
+    se = math.sqrt(pooled * (1.0 - pooled) * (1.0 / n_a + 1.0 / n_b))
+    if se == 0.0:
+        # pooled rate is exactly 0 or 1: both samples are unanimous; they
+        # differ only if their (clamped) rates differ, which cannot happen
+        # when the pool is degenerate — report no difference
+        return (0.0, 1.0)
+    z = (p_b - p_a) / se
+    return (z, math.erfc(abs(z) / math.sqrt(2.0)))
 
 
 @dataclass(frozen=True)

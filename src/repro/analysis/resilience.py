@@ -83,6 +83,7 @@ def profile_resilience(
     protect="none",
     serve=None,
     layers=None,
+    ledger=None,
 ) -> ResilienceProfile:
     """Run the paper's per-layer value + metadata campaigns for one format.
 
@@ -106,6 +107,9 @@ def profile_resilience(
     crash-safe write-ahead journaling — see :mod:`repro.exec`).  The
     metadata campaign journals to ``journal + ".metadata"`` so the two
     campaigns never share (and never clash over) one fingerprinted file.
+    ``ledger`` (a path or open :class:`~repro.obs.ledger.CampaignLedger`)
+    records both campaigns in the persistent run history; each gets its
+    own row (their fingerprints differ by kind and seed).
 
     ``fault_model`` / ``protect`` select the campaign's fault model and
     ECC protection (see :mod:`repro.core.faultmodels` /
@@ -152,7 +156,7 @@ def profile_resilience(
                 shard_timeout=shard_timeout,
                 batch_records=batch_records, shared_cache=shared_cache,
                 fault_batch=fault_batch, fault_model=fault_model,
-                protect=protect, serve=server,
+                protect=protect, serve=server, ledger=ledger,
             )
             fmt = platform.spawn_format()
             metadata_campaign = None
@@ -169,6 +173,7 @@ def profile_resilience(
                     shard_timeout=shard_timeout,
                     batch_records=batch_records, shared_cache=shared_cache,
                     fault_batch=fault_batch, protect=protect, serve=server,
+                    ledger=ledger,
                 )
     finally:
         if owns_server:

@@ -13,6 +13,9 @@ surface over the reproduction:
     python -m repro profile  --model resnet18 --format bfp_e5m5_b16
     python -m repro report   --from-metrics metrics.json --from-trace t.jsonl
     python -m repro watch    127.0.0.1:9200        # dashboard for --serve
+    python -m repro history  --ledger runs.sqlite  # persistent run history
+    python -m repro diff 1 2 --ledger runs.sqlite --gate   # regression gate
+    python -m repro timeline 2 --ledger runs.sqlite --out trace.json
     python -m repro ranges
     python -m repro sites
 
@@ -36,7 +39,9 @@ Observability flags (every subcommand):
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import os
 import sys
 
 import numpy as np
@@ -57,17 +62,25 @@ from .data import SyntheticImageNet, get_pretrained
 from .formats import available_formats, dynamic_range, make_format
 from .models import available_models
 from .obs import (
+    CampaignLedger,
     LayerProfiler,
     NULL_TRACER,
     NumericHealthMonitor,
+    atomic_write_text,
+    build_chrome_trace,
     build_report,
+    build_report_from_ledger,
     configure_tracing,
+    diff_runs,
     export_prometheus,
     get_registry,
     load_metrics,
     load_trace_events,
+    render_diff,
+    render_history,
     render_report,
     set_tracer,
+    validate_chrome_trace,
     validate_report,
     write_json,
 )
@@ -354,17 +367,28 @@ def cmd_campaign(args) -> int:
         fault_batch=args.fault_batch,
         fault_model=fault_spec, protect=args.protect,
         layers=args.layers,
-        serve=args.serve)
+        serve=args.serve, ledger=args.ledger)
     if args.kind == "value" or profile.metadata_campaign is None:
         campaign = profile.value_campaign
     else:
         campaign = profile.metadata_campaign
+    # remember the ledger rows so main() can link the --metrics-json
+    # artifact once it has actually been written (at exit)
+    args._ledger_run_ids = [
+        c.ledger_run_id for c in (profile.value_campaign,
+                                  profile.metadata_campaign)
+        if c is not None and c.ledger_run_id is not None]
     print(layer_vulnerability_table(profile))
     print(f"\nnetwork mean ΔLoss ({args.kind}): "
           f"{np.mean([r.mean_delta_loss for r in campaign.per_layer.values()]):.4f}")
     summary = _campaign_summary(campaign)
     if summary:
         print(summary)
+    if args._ledger_run_ids:
+        print("ledger: recorded run "
+              + ", ".join(f"#{r}" for r in args._ledger_run_ids)
+              + " — inspect with `repro history` / `repro diff` / "
+                "`repro timeline`")
     if fault_spec != "single":
         from .analysis import fault_pattern_table
         print("\n" + fault_pattern_table(campaign, group="len"))
@@ -403,8 +427,10 @@ def cmd_harden(args) -> int:
             kind="value", location=args.location,
             injections_per_layer=args.injections, seed=args.seed,
             layers=args.layers, workers=args.workers,
-            fault_model=fault_spec)
+            fault_model=fault_spec, ledger=args.ledger)
         geometry = layer_geometry(platform, args.location)
+    if campaign.ledger_run_id is not None:
+        args._ledger_run_ids = [campaign.ledger_run_id]
     report = build_hardening_report(campaign, geometry, protection=protect,
                                     budget_bits=args.budget_bits)
     print(render_hardening_report(report))
@@ -415,9 +441,7 @@ def cmd_harden(args) -> int:
         print("\nno layer showed a positive SDC reduction under "
               f"{report['protection']}")
     if args.out:
-        import json
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
+        atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
     return 0
 
@@ -487,30 +511,127 @@ def cmd_mixed(args) -> int:
 
 
 def cmd_report(args) -> int:
-    """Assemble a campaign health report from metrics/trace artifacts."""
-    if not args.from_metrics and not args.from_trace:
-        print("report: at least one of --from-metrics / --from-trace is required",
-              file=sys.stderr)
-        return 2
-    metrics = load_metrics(args.from_metrics) if args.from_metrics else None
-    events = load_trace_events(args.from_trace) if args.from_trace else None
-    report = build_report(metrics=metrics, events=events,
-                          metrics_path=args.from_metrics,
-                          trace_path=args.from_trace)
+    """Assemble a campaign health report from metrics/trace artifacts.
+
+    ``--ledger RUN_ID`` regenerates the report for a ledgered run instead:
+    the run's linked artifacts are used when they still exist, otherwise
+    the per-layer section comes from the ledger's own aggregates.
+    """
+    if args.ledger is not None:
+        with _open_ledger(args, path_attr="ledger_db") as ledger:
+            try:
+                report = build_report_from_ledger(ledger, args.ledger)
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+    else:
+        if not args.from_metrics and not args.from_trace:
+            print("report: at least one of --from-metrics / --from-trace / "
+                  "--ledger is required", file=sys.stderr)
+            return 2
+        metrics = load_metrics(args.from_metrics) if args.from_metrics else None
+        events = load_trace_events(args.from_trace) if args.from_trace else None
+        report = build_report(metrics=metrics, events=events,
+                              metrics_path=args.from_metrics,
+                              trace_path=args.from_trace)
     validate_report(report)
     text = render_report(report, args.render)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(text)
+        atomic_write_text(args.out, text)
         print(f"wrote {args.render} report to {args.out}")
     else:
         print(text)
     return 0
 
 
+def _open_ledger(args, path_attr: str = "ledger") -> CampaignLedger:
+    """Open the campaign ledger named by ``--ledger`` / ``$REPRO_LEDGER``.
+
+    Raises ``ValueError`` (exit code 2 via ``main``) when no ledger is
+    configured or the file does not exist — the history/diff/timeline
+    commands read an existing ledger, they never create one.
+    """
+    path = getattr(args, path_attr, None) or os.environ.get("REPRO_LEDGER")
+    if not path:
+        raise ValueError(
+            "no campaign ledger: pass --ledger PATH (or set REPRO_LEDGER); "
+            "campaigns record into it via `repro campaign --ledger PATH`")
+    if not os.path.exists(path):
+        raise ValueError(f"campaign ledger {path!r} does not exist")
+    return CampaignLedger(path)
+
+
+def cmd_history(args) -> int:
+    """List ledgered campaign runs with per-format SDC trend sparklines."""
+    with _open_ledger(args) as ledger:
+        print(render_history(ledger, format=args.format,
+                             fault_model=args.fault_model, kind=args.kind,
+                             limit=args.limit))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Compare two ledgered runs layer by layer (``--gate`` for CI)."""
+    with _open_ledger(args) as ledger:
+        try:
+            diff = diff_runs(ledger, args.run_a, args.run_b, alpha=args.alpha)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(json.dumps(diff, indent=2))
+    else:
+        print(render_diff(diff))
+    if args.gate and diff["regressions"]:
+        print(f"diff: gate FAILED — {len(diff['regressions'])} layer(s) "
+              f"with a statistically significant SDC regression at "
+              f"alpha={args.alpha:g}: {', '.join(diff['regressions'])}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """Export a ledgered run's span trace as Chrome ``trace_event`` JSON."""
+    if args.from_trace:
+        events = load_trace_events(args.from_trace)
+        label = args.from_trace
+    elif args.run is not None:
+        with _open_ledger(args) as ledger:
+            run = ledger.get_run(args.run)
+            if run is None:
+                print(f"error: ledger has no run {args.run}", file=sys.stderr)
+                return 2
+            trace_path = run.get("trace_path")
+            if not trace_path or not os.path.exists(trace_path):
+                print(f"error: run {args.run} has no trace artifact on disk "
+                      f"({trace_path or 'none recorded'}); re-run the "
+                      "campaign with --trace FILE", file=sys.stderr)
+                return 1
+            events = load_trace_events(trace_path)
+            label = (f"run {run['run_id']}: {run['kind']} campaign, "
+                     f"{run['format']}, fault {run['fault_model']}")
+    else:
+        print("timeline: a RUN id (with --ledger) or --from-trace FILE is "
+              "required", file=sys.stderr)
+        return 2
+    trace = build_chrome_trace(events, label=label)
+    validate_chrome_trace(trace)
+    text = json.dumps(trace) + "\n"
+    if args.out:
+        atomic_write_text(args.out, text)
+        meta = trace["otherData"]
+        print(f"wrote Chrome trace to {args.out} ({meta['spans']} spans, "
+              f"{len(meta['lanes'])} lane(s), critical path "
+              f"{len(meta['critical_path'])} span(s)) — open in "
+              "chrome://tracing or https://ui.perfetto.dev")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_watch(args) -> int:
     """Terminal dashboard for a live ``--serve`` campaign or a WAL journal."""
-    import os
     import time as _time
 
     from .obs import fetch_progress, journal_progress, render_dashboard
@@ -638,6 +759,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "ETA, in-flight SDC with Wilson CI), /healthz "
                             "and /events (SSE); watch it with "
                             "`repro watch HOST:PORT`")
+    group.add_argument("--ledger", metavar="DB", default=None,
+                       help="record this run (provenance + per-layer "
+                            "outcomes) in the sqlite campaign ledger at DB "
+                            "(default: $REPRO_LEDGER); browse with "
+                            "`repro history`, compare with `repro diff`")
     _add_fault_args(p)
     p.add_argument("--numerics", action="store_true",
                    help="attach the numeric-health monitor (per-layer "
@@ -667,6 +793,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "unbounded)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the harden/v1 JSON report to FILE")
+    p.add_argument("--ledger", metavar="DB", default=None,
+                   help="record the ranking campaign in the sqlite campaign "
+                        "ledger at DB (default: $REPRO_LEDGER)")
     p.set_defaults(func=cmd_harden)
 
     p = sub.add_parser("attack", help="adversarial attack efficacy vs format (§V-D)")
@@ -730,7 +859,62 @@ def build_parser() -> argparse.ArgumentParser:
                    default="markdown", help="output format (default markdown)")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the report to FILE instead of stdout")
+    p.add_argument("--ledger", metavar="RUN_ID", type=int, default=None,
+                   help="regenerate the report for a ledgered run (its "
+                        "linked artifacts when present, the ledger's own "
+                        "aggregates otherwise)")
+    p.add_argument("--ledger-db", metavar="DB", default=None,
+                   help="campaign ledger to read for --ledger "
+                        "(default: $REPRO_LEDGER)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("history", help="list ledgered campaign runs with "
+                                       "per-format SDC trend sparklines")
+    p.add_argument("--ledger", metavar="DB", default=None,
+                   help="campaign ledger to read (default: $REPRO_LEDGER)")
+    p.add_argument("--format", default=None,
+                   help="only runs of this numeric format")
+    p.add_argument("--fault-model", default=None,
+                   help="only runs of this fault-model spec")
+    p.add_argument("--kind", choices=["value", "metadata"], default=None,
+                   help="only value / metadata campaigns")
+    p.add_argument("--limit", type=_positive_int("--limit"), default=None,
+                   metavar="N", help="show at most the N most recent runs")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("diff", help="compare two ledgered runs layer by "
+                                    "layer (two-proportion significance "
+                                    "test on the SDC rates)")
+    p.add_argument("run_a", type=int, help="baseline run id (repro history)")
+    p.add_argument("run_b", type=int, help="candidate run id")
+    p.add_argument("--ledger", metavar="DB", default=None,
+                   help="campaign ledger to read (default: $REPRO_LEDGER)")
+    p.add_argument("--alpha", type=float, default=0.05,
+                   help="significance level for the per-layer two-proportion "
+                        "test (default 0.05)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit non-zero when any layer shows a statistically "
+                        "significant SDC regression (CI regression gate)")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable diff dict instead of "
+                        "the table")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("timeline", help="export a run's hierarchical span "
+                                        "trace as Chrome/Perfetto "
+                                        "trace_event JSON")
+    p.add_argument("run", type=int, nargs="?", default=None,
+                   help="ledger run id whose linked --trace artifact to "
+                        "convert (see repro history)")
+    p.add_argument("--ledger", metavar="DB", default=None,
+                   help="campaign ledger to read (default: $REPRO_LEDGER)")
+    p.add_argument("--from-trace", metavar="FILE", default=None,
+                   help="convert this JSONL trace file directly (no ledger "
+                        "needed)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the trace_event JSON to FILE instead of "
+                        "stdout")
+    p.set_defaults(func=cmd_timeline)
 
     # every subcommand gets the observability surface
     for command_parser in sub.choices.values():
@@ -764,11 +948,24 @@ def main(argv: list[str] | None = None) -> int:
             write_json(metrics_json, registry)
         metrics_prom = getattr(args, "metrics_prom", None)
         if metrics_prom:
-            with open(metrics_prom, "w", encoding="utf-8") as fh:
-                fh.write(export_prometheus(registry))
+            atomic_write_text(metrics_prom, export_prometheus(registry))
         if tracer.enabled:
             tracer.close()
             set_tracer(NULL_TRACER)
+        # the metrics artifact exists only now — point the ledger rows the
+        # command recorded at it (best-effort; the run row already exists)
+        run_ids = getattr(args, "_ledger_run_ids", None)
+        ledger_path = (getattr(args, "ledger", None)
+                       or os.environ.get("REPRO_LEDGER"))
+        if run_ids and metrics_json and isinstance(ledger_path, str):
+            try:
+                with CampaignLedger(ledger_path) as ledger:
+                    for run_id in run_ids:
+                        ledger.link_artifacts(run_id,
+                                              metrics_path=metrics_json)
+            except Exception as exc:  # pragma: no cover - defensive
+                logging.getLogger("repro.cli").warning(
+                    "could not link metrics artifact in ledger: %s", exc)
 
 
 if __name__ == "__main__":

@@ -159,6 +159,12 @@ class CampaignResult:
     interrupted: bool = False
     #: the write-ahead journal backing this run, if any
     journal_path: str | None = None
+    #: the campaign fingerprint (identity of kind/location/format/seed/
+    #: plans/data — see :func:`repro.exec.journal.campaign_fingerprint`)
+    fingerprint: dict | None = None
+    #: the run's row id in the campaign ledger, when one was configured
+    #: (see :mod:`repro.obs.ledger`)
+    ledger_run_id: int | None = None
 
     def mean_delta_loss(self) -> float:
         """Network-level resilience: ΔLoss averaged across layers (§V-A)."""
@@ -481,8 +487,30 @@ def execute_injection_batch(
     only the live (silent/unprotected) plans share the batched pass — and
     their golden-outcome records are spliced back in plan order, so the
     record sequence matches the serial path exactly.
+
+    When tracing is enabled each call is wrapped in a ``campaign.batch``
+    span (layer + chunk size) — the innermost level of the
+    campaign → layer/shard → batch trace hierarchy rendered by
+    ``repro timeline``.
     """
     plans = list(plans)
+    if not plans:
+        return []
+    with get_tracer().span("campaign.batch", layer=plans[0].layer,
+                           size=len(plans)):
+        return _execute_injection_batch(platform, golden, images, plans,
+                                        use_resume, fault_spec, protection)
+
+
+def _execute_injection_batch(
+    platform: GoldenEye,
+    golden: InferenceOutcome,
+    images: np.ndarray,
+    plans,
+    use_resume: bool,
+    fault_spec=None,
+    protection=None,
+) -> list[dict]:
     out: list = [None] * len(plans)
     live: list[tuple[int, object, str | None]] = []
     for i, plan in enumerate(plans):
@@ -644,6 +672,7 @@ def run_campaign(
     protect="none",
     exec_config=None,
     serve=None,
+    ledger=None,
 ) -> CampaignResult:
     """Run an injection campaign and aggregate ΔLoss / mismatch per layer.
 
@@ -716,6 +745,19 @@ def run_campaign(
     an address attaches the campaign to it but leaves the lifecycle (and
     the final progress state, still being served) to the caller.  Progress
     is tracked identically for serial, parallel and fault-batched runs.
+
+    Campaign ledger
+    ---------------
+    ``ledger`` points the run at a :mod:`campaign ledger <repro.obs.ledger>`
+    — a sqlite path, an open :class:`~repro.obs.ledger.CampaignLedger`,
+    or None to consult the ``REPRO_LEDGER`` environment variable (unset =
+    no ledger).  When configured, the run's provenance and per-layer
+    outcomes are recorded automatically at the end of the campaign —
+    identically for serial, parallel, fault-batched and resumed
+    execution; a resumed journal run *updates* its original row.  The
+    write is failure-isolated (a broken ledger never fails the campaign)
+    and timed into ``telemetry["ledger_seconds"]``; the row id lands in
+    :attr:`CampaignResult.ledger_run_id`.
     """
     if not platform.attached:
         raise RuntimeError("attach() the GoldenEye platform before running a campaign")
@@ -766,6 +808,7 @@ def run_campaign(
         previous_tracer = set_tracer(
             BroadcastTracer(get_tracer(), server.publish))
     tracer = get_tracer()
+    started_at = time.time()
     t_campaign = time.perf_counter()
     if resume:
         platform.enable_resume(resume_budget_bytes)
@@ -807,19 +850,21 @@ def run_campaign(
             progress.set_plan({layer: len(sampling[layer].plans)
                                for layer in target_layers})
 
+            # ---- campaign identity (journal + ledger share it) -----------
+            from ..exec.journal import CampaignJournal, campaign_fingerprint
+            fingerprint = campaign_fingerprint(
+                kind=kind, location=location,
+                format_name=platform.format_name(), seed=seed,
+                injections_per_layer=injections_per_layer,
+                num_bits=num_bits, layers=target_layers,
+                images=images, labels=labels,
+                fault=fault_spec, protect=protect_spec)
+
             # ---- write-ahead journal: load completed work ----------------
             journal_obj = None
             records: dict[tuple[str, int], dict] = {}
             journal_skipped = 0
             if journal is not None:
-                from ..exec.journal import CampaignJournal, campaign_fingerprint
-                fingerprint = campaign_fingerprint(
-                    kind=kind, location=location,
-                    format_name=platform.format_name(), seed=seed,
-                    injections_per_layer=injections_per_layer,
-                    num_bits=num_bits, layers=target_layers,
-                    images=images, labels=labels,
-                    fault=fault_spec, protect=protect_spec)
                 journal_obj, completed = CampaignJournal.open(journal, fingerprint)
                 for (layer, seq), rec in completed.items():
                     plan_list = sampling.get(layer)
@@ -936,7 +981,7 @@ def run_campaign(
             # (workers stream their numerics deltas back per shard)
             telemetry["numeric_health"] = platform.numerics.as_dict()
         progress.finish("interrupted" if interrupted else "done")
-        return CampaignResult(
+        result = CampaignResult(
             kind=kind,
             location=location,
             format_name=platform.format_name(),
@@ -947,7 +992,16 @@ def run_campaign(
             quarantined=quarantined,
             interrupted=interrupted,
             journal_path=str(journal) if journal is not None else None,
+            fingerprint=fingerprint,
         )
+        _record_to_ledger(
+            result, ledger, seed=seed,
+            injections_per_layer=injections_per_layer, num_bits=num_bits,
+            workers=effective_workers,
+            fault_batch=(exec_config.fault_batch
+                         if exec_config is not None else fault_batch),
+            layers=target_layers, started_at=started_at)
+        return result
     finally:
         # finish() only transitions from "running", so a clean return (which
         # already sealed the state as done/interrupted) is not clobbered
@@ -963,6 +1017,48 @@ def run_campaign(
         # must not leak the full golden-pass cache (satellite of ISSUE 4)
         if resume:
             platform.clear_resume()
+
+
+def _record_to_ledger(result: CampaignResult, ledger, *, seed: int,
+                      injections_per_layer: int, num_bits: int, workers: int,
+                      fault_batch: int, layers: list[str],
+                      started_at: float) -> None:
+    """Write ``result`` to the configured campaign ledger, if any.
+
+    The ledger is observability, never a dependency: open/write failures
+    are logged and swallowed, and the write is timed into
+    ``telemetry["ledger_seconds"]`` so ``benchmarks/bench_ledger.py`` can
+    hold it under 1% of campaign wall time.
+    """
+    from ..obs.ledger import resolve_ledger
+    from ..obs.tracing import sink_path
+    try:
+        ledger_obj, owns = resolve_ledger(ledger)
+    except Exception:  # noqa: BLE001 - a broken ledger never fails the run
+        logger.warning("could not open campaign ledger", exc_info=True)
+        return
+    if ledger_obj is None:
+        return
+    t0 = time.perf_counter()
+    try:
+        result.ledger_run_id = ledger_obj.record_campaign(
+            result, fingerprint=result.fingerprint, seed=seed,
+            injections_per_layer=injections_per_layer, num_bits=num_bits,
+            workers=workers, fault_batch=fault_batch, layers=layers,
+            started_at=started_at, trace_path=sink_path(get_tracer()))
+        logger.info("ledger %s: recorded run %s", ledger_obj.path,
+                    result.ledger_run_id)
+    except Exception:  # noqa: BLE001 - a broken ledger never fails the run
+        logger.warning("campaign ledger write failed (run not recorded)",
+                       exc_info=True)
+    finally:
+        if owns:
+            try:
+                ledger_obj.close()
+            except Exception:  # noqa: BLE001
+                pass
+        if result.telemetry is not None:
+            result.telemetry["ledger_seconds"] = time.perf_counter() - t0
 
 
 def _run_serial(

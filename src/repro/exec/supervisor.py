@@ -67,7 +67,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..obs.telemetry import get_registry, merge_metric_delta
-from ..obs.tracing import get_tracer
+from ..obs.tracing import current_span_id, get_tracer
 from .shard import Shard, plan_shards
 from .shmcache import SharedCacheError, SharedGoldenCache
 from .worker import WorkerPayload, worker_main
@@ -772,6 +772,7 @@ def run_parallel_campaign(
                             fault_batch=config.fault_batch,
                             fault_spec=fault_spec,
                             protection=protection,
+                            trace_parent=current_span_id(),
                             fault=config.worker_fault)
     supervisor = CampaignSupervisor(payload, shards, config, journal=journal,
                                     kind=kind, location=location,

@@ -102,6 +102,10 @@ class WorkerPayload:
     #: are a pure function of the plan, so worker-side classification is
     #: bit-identical to the serial path
     protection: object | None = None
+    #: the supervisor's active ``campaign.run`` span id: the worker seeds
+    #: its span-context stack with it so every worker span parents into
+    #: the campaign's trace tree (see :mod:`repro.obs.tracing`)
+    trace_parent: str | None = None
     #: test hook: called as ``fault(worker_id, shard, attempt)`` before a
     #: shard attempt executes — tests use it to hang, crash (``os._exit``)
     #: or raise on chosen shards to exercise the supervision machinery
@@ -139,7 +143,8 @@ def worker_main(worker_id: int, payload: WorkerPayload,
 
     from ..core.campaign import execute_injection_batch
     from ..obs.telemetry import get_registry
-    from ..obs.tracing import BufferingTracer, get_tracer, set_tracer
+    from ..obs.tracing import BufferingTracer, get_tracer, seed_span_context, \
+        set_tracer
 
     shm_adopted = False
     session = getattr(payload.platform, "resume_session", None)
@@ -164,6 +169,10 @@ def worker_main(worker_id: int, payload: WorkerPayload,
     if get_tracer().enabled:
         buffer = BufferingTracer()
         set_tracer(buffer)
+        # parent this worker's spans to the supervisor's campaign.run span
+        # (the fork-inherited stack is replaced, not trusted: it reflects
+        # whatever thread state the fork happened to copy)
+        seed_span_context(payload.trace_parent)
     registry = get_registry()
     batch_size = max(1, int(payload.batch_records))
     latency = float(payload.injection_latency or 0.0)

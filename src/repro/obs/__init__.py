@@ -10,7 +10,13 @@ The measurement substrate for the platform's performance claims:
   instrumented forward into compute / quantize / inject / detect phases
   (ns/element, activation-memory footprints);
 * :mod:`repro.obs.export` — JSON, CSV and Prometheus text exposition of the
-  registry, plus ``BENCH_*.json`` benchmark artifacts;
+  registry, ``BENCH_*.json`` benchmark artifacts and Chrome/Perfetto
+  ``trace_event`` timelines built from the hierarchical span trace (all
+  artifact writes are atomic: temp file + ``os.replace``);
+* :mod:`repro.obs.ledger` — the persistent campaign ledger (stdlib
+  ``sqlite3``, schema ``ledger/v1``): every ``run_campaign`` records its
+  fingerprint, configuration and per-layer outcomes, powering
+  ``repro history`` / ``repro diff`` / ``repro timeline``;
 * :mod:`repro.obs.numerics` — per-layer numeric-health monitors
   (quantization error, saturation / flush-to-zero / NaN-remap counters,
   dynamic-range coverage) fed by the formats' stats sinks;
@@ -23,11 +29,25 @@ The measurement substrate for the platform's performance claims:
 """
 
 from .export import (
+    atomic_write_text,
+    build_chrome_trace,
+    chrome_trace_depth,
     export_csv,
     export_json,
     export_prometheus,
+    validate_chrome_trace,
     write_bench_json,
     write_json,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    CampaignLedger,
+    diff_runs,
+    fingerprint_sha,
+    render_diff,
+    render_history,
+    resolve_ledger,
+    sparkline,
 )
 from .numerics import (
     NumericHealthMonitor,
@@ -38,6 +58,7 @@ from .profiler import LayerProfiler, PhaseStats
 from .report import (
     REPORT_SCHEMA,
     build_report,
+    build_report_from_ledger,
     load_metrics,
     load_trace_events,
     render_report,
@@ -62,8 +83,11 @@ from .tracing import (
     NullTracer,
     Tracer,
     configure_tracing,
+    current_span_id,
     get_tracer,
+    seed_span_context,
     set_tracer,
+    sink_path,
 )
 from .live import (
     PROGRESS_SCHEMA,
@@ -101,6 +125,9 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "configure_tracing",
+    "current_span_id",
+    "seed_span_context",
+    "sink_path",
     "LayerProfiler",
     "PhaseStats",
     "NumericHealthMonitor",
@@ -108,6 +135,7 @@ __all__ = [
     "summarize_numerics",
     "REPORT_SCHEMA",
     "build_report",
+    "build_report_from_ledger",
     "load_metrics",
     "load_trace_events",
     "render_report",
@@ -117,4 +145,16 @@ __all__ = [
     "export_csv",
     "export_prometheus",
     "write_bench_json",
+    "atomic_write_text",
+    "build_chrome_trace",
+    "validate_chrome_trace",
+    "chrome_trace_depth",
+    "LEDGER_SCHEMA",
+    "CampaignLedger",
+    "fingerprint_sha",
+    "resolve_ledger",
+    "diff_runs",
+    "render_diff",
+    "render_history",
+    "sparkline",
 ]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import html as _html
 import json
+import os
 import time
 from typing import Any
 
@@ -32,6 +33,7 @@ __all__ = [
     "load_metrics",
     "load_trace_events",
     "build_report",
+    "build_report_from_ledger",
     "validate_report",
     "render_markdown",
     "render_html",
@@ -186,6 +188,70 @@ def build_report(metrics: dict | None = None,
         "quarantined": quarantined,
         "workers_seen": workers_seen,
     }
+
+
+def build_report_from_ledger(ledger, run_id: int) -> dict:
+    """Regenerate a campaign report from a ledger row (``--ledger RUN_ID``).
+
+    Loads the run's linked ``--metrics-json`` / ``--trace`` artifacts when
+    they still exist on disk and builds the usual joined report from them.
+    When the artifacts are gone (or were never exported) the per-layer and
+    campaign sections are synthesized from the ledger's own ``run_layers``
+    rows, so a report can always be regenerated from the ledger alone.
+    Raises ``KeyError`` when the run id does not exist.
+    """
+    run = ledger.get_run(run_id)
+    if run is None:
+        raise KeyError(f"ledger has no run {run_id}")
+
+    metrics_path = run.get("metrics_path")
+    trace_path = run.get("trace_path")
+    metrics = None
+    events = None
+    if metrics_path and os.path.exists(metrics_path):
+        metrics = load_metrics(metrics_path)
+    else:
+        metrics_path = None
+    if trace_path and os.path.exists(trace_path):
+        events = load_trace_events(trace_path)
+    else:
+        trace_path = None
+
+    report = build_report(metrics=metrics, events=events,
+                          metrics_path=metrics_path, trace_path=trace_path)
+    report["sources"]["ledger"] = {
+        "path": getattr(ledger, "path", None),
+        "run_id": int(run["run_id"]),
+        "fingerprint_sha": run.get("fingerprint_sha"),
+        "format": run.get("format"),
+        "fault_model": run.get("fault_model"),
+    }
+
+    # fall back to the ledger's own aggregates where artifacts are missing
+    if not report["layers"]:
+        report["layers"] = [{
+            "layer": row["layer"],
+            "injections": int(row["injections"] or 0),
+            "mean_delta_loss": float(row["mean_delta_loss"] or 0.0),
+            "max_delta_loss": float(row["max_delta_loss"] or 0.0),
+            "mismatch_rate": float(row["mismatch_rate"] or 0.0),
+            "sdc_rate": float(row["sdc_rate"] or 0.0),
+            "sdc_ci": [float(row["sdc_lo"] or 0.0),
+                       float(row["sdc_hi"] or 1.0)],
+            "numerics": {},
+        } for row in run["layers_detail"]]
+    campaign = report["campaign"]
+    if not campaign.get("injections"):
+        campaign["injections"] = int(run.get("injections") or 0)
+    if not campaign.get("injections_per_sec"):
+        campaign["injections_per_sec"] = float(
+            run.get("injections_per_sec") or 0.0)
+    if not campaign.get("wall_seconds"):
+        campaign["wall_seconds"] = float(run.get("wall_seconds") or 0.0)
+    cache = report["cache"]
+    if not cache and run.get("resume_hit_rate") is not None:
+        cache["hit_rate"] = float(run["resume_hit_rate"])
+    return report
 
 
 def validate_report(report: Any) -> bool:

@@ -8,16 +8,34 @@ be re-aggregated offline without re-executing a single inference.
 Event schema (JSONL, one object per line)
 -----------------------------------------
 Common fields: ``type`` (``"span"`` | ``"event"``), ``name``, ``ts``
-(unix seconds, event/span *end*), and free-form attributes.  Spans add
-``dur_s`` (wall-clock duration).  The campaign runner emits:
+(unix **wall-clock** seconds, event/span *end*), ``ts_mono`` (the same
+instant on the monotonic clock — comparable across forked workers, immune
+to NTP steps), and free-form attributes.  Spans add ``dur_s`` (duration,
+computed from the monotonic clock so a wall-clock step can never produce
+a negative duration), ``span_id`` (8-byte hex, unique across processes)
+and — when the span started inside another span — ``parent_id``.  Point
+events carry ``parent_id`` of the enclosing span too, so every event
+stream forms a forest rooted at ``campaign.run``.  The campaign runner
+emits:
 
 * ``span  campaign.run``      — one per campaign (kind, location, format, ...)
 * ``span  campaign.layer``    — one per layer (layer, performed, retries)
+* ``span  campaign.batch``    — one per fault-axis batched forward (chunk
+  of K plans; K=1 campaigns get one per injection)
+* ``span  exec.worker_shard`` — one per worker shard attempt (parallel
+  runs; replayed into the parent sink with a ``worker_id`` tag)
 * ``event campaign.injection``— one per injection: ``layer``, ``site``
   (flat index or metadata register), ``bits``, ``delta_loss``,
   ``mismatch_rate``, ``dur_s`` (seconds for that injected inference)
 * ``span  goldeneye.attach`` / ``goldeneye.capture_golden`` — setup timing
 * ``span  dse.node``          — one per DSE tree evaluation
+
+Span parentage crosses the fork boundary: the supervisor stamps the
+active ``campaign.run`` span id into each worker's payload, the worker
+seeds its span-context stack with it (:func:`seed_span_context`), and the
+buffered worker events flow back through the existing
+``Tracer.emit_foreign`` path — so ``repro timeline`` can render one
+campaign as campaign → layer/shard → batch nested lanes per worker.
 
 Overhead contract
 -----------------
@@ -30,6 +48,7 @@ manager, no allocation), budgeted at <2% campaign overhead and asserted by
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from typing import IO, Any
@@ -44,7 +63,60 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "configure_tracing",
+    "current_span_id",
+    "seed_span_context",
+    "sink_path",
 ]
+
+
+def sink_path(tracer) -> str | None:
+    """The JSONL file a tracer writes to, unwrapping composition (or None).
+
+    Used by the campaign ledger to link a run to its trace artifact:
+    a :class:`BroadcastTracer` is unwrapped to its inner tracer, and
+    tracers without a file-backed sink (null, buffering) yield None.
+    """
+    inner = getattr(tracer, "inner", None)
+    if inner is not None:
+        tracer = inner
+    sink = getattr(tracer, "sink", None)
+    return getattr(sink, "path", None)
+
+
+# ----------------------------------------------------------------------
+# span context: a per-thread stack of active span ids
+# ----------------------------------------------------------------------
+_span_context = threading.local()
+
+
+def _span_stack() -> list:
+    stack = getattr(_span_context, "stack", None)
+    if stack is None:
+        stack = []
+        _span_context.stack = stack
+    return stack
+
+
+def current_span_id() -> str | None:
+    """The id of this thread's innermost active span (None outside spans)."""
+    stack = getattr(_span_context, "stack", None)
+    return stack[-1] if stack else None
+
+
+def seed_span_context(parent_id: str | None) -> None:
+    """Reset this thread's span stack to a foreign root (worker startup).
+
+    A forked campaign worker calls this with the supervisor's active
+    ``campaign.run`` span id so every span it opens parents into the
+    campaign's tree even though it runs in another process.
+    """
+    _span_context.stack = [parent_id] if parent_id else []
+
+
+def _new_span_id() -> str:
+    # os.urandom, not the random module: a forked worker inherits the
+    # parent's PRNG state, and colliding span ids would corrupt the tree
+    return os.urandom(8).hex()
 
 
 def _json_default(obj: Any) -> Any:
@@ -100,31 +172,65 @@ class JsonlSink:
 
 
 class _Span:
-    """Context manager recording one span's wall-clock extent."""
+    """Context manager recording one span's extent and tree position.
 
-    __slots__ = ("_tracer", "name", "attrs", "_t0")
+    Durations come from ``time.monotonic()`` (a wall-clock step — NTP
+    correction, manual ``date`` — can never yield a negative duration);
+    the emitted event still carries the wall-clock end in ``ts`` plus the
+    monotonic end in ``ts_mono`` so offline tools can reconstruct both
+    human time and a step-free campaign timeline.
+    """
+
+    __slots__ = ("_tracer", "name", "attrs", "_t0_mono", "span_id",
+                 "parent_id")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
         self.name = name
         self.attrs = attrs
-        self._t0 = 0.0
+        self._t0_mono = 0.0
+        self.span_id = _new_span_id()
+        self.parent_id: str | None = None
 
     def set(self, **attrs) -> None:
         """Attach/override attributes mid-span (e.g. results computed inside)."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "_Span":
-        self._t0 = time.perf_counter()
+        self._t0_mono = time.monotonic()
+        stack = _span_stack()
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        dur = time.perf_counter() - self._t0
+        end_mono = time.monotonic()
+        stack = _span_stack()
+        # normally a plain pop; the remove() fallback keeps the stack sane
+        # if spans were exited out of order (manual __enter__/__exit__)
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:
+            stack.remove(self.span_id)
         event = {"type": "span", "name": self.name, "ts": time.time(),
-                 "dur_s": dur, **self.attrs}
+                 "ts_mono": end_mono,
+                 "dur_s": max(0.0, end_mono - self._t0_mono),
+                 "span_id": self.span_id, **self.attrs}
+        if self.parent_id is not None:
+            event["parent_id"] = self.parent_id
         if exc_type is not None:
             event["error"] = exc_type.__name__
         self._tracer._emit(event)
+
+
+def _point_event(name: str, attrs: dict) -> dict:
+    """A point event stamped with both clocks and the enclosing span."""
+    event = {"type": "event", "name": name, "ts": time.time(),
+             "ts_mono": time.monotonic(), **attrs}
+    parent = current_span_id()
+    if parent is not None:
+        event["parent_id"] = parent
+    return event
 
 
 class Tracer:
@@ -145,7 +251,7 @@ class Tracer:
         return _Span(self, name, attrs)
 
     def event(self, name: str, **attrs) -> None:
-        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+        self._emit(_point_event(name, attrs))
 
     def _emit(self, event: dict) -> None:
         self.sink.write(event)
@@ -191,7 +297,7 @@ class BufferingTracer:
         return _Span(self, name, attrs)
 
     def event(self, name: str, **attrs) -> None:
-        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+        self._emit(_point_event(name, attrs))
 
     def _emit(self, event: dict) -> None:
         with self._lock:
@@ -237,7 +343,7 @@ class BroadcastTracer:
         return _Span(self, name, attrs)
 
     def event(self, name: str, **attrs) -> None:
-        self._emit({"type": "event", "name": name, "ts": time.time(), **attrs})
+        self._emit(_point_event(name, attrs))
 
     def _emit(self, event: dict) -> None:
         # NullTracer has no _emit (its spans are shared no-ops); anything

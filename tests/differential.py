@@ -137,7 +137,7 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
              injections_per_layer: int = 5, seed: int = 13,
              interrupt_after: int = 4, serve: bool = False,
              fault_model="single", protect="none",
-             layers=None) -> DifferentialOutcome:
+             layers=None, ledger=None) -> DifferentialOutcome:
     """Run the seeded campaign under ``mode`` and bundle its surfaces.
 
     Every mode uses the same ``(format_spec, seed, injections_per_layer,
@@ -146,6 +146,12 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
     non-default injectors of :mod:`repro.core.faultmodels`) — so any
     observable difference between two returned outcomes is an executor
     bug, not a campaign difference.
+
+    ``ledger`` (a path or open :class:`repro.obs.ledger.CampaignLedger`)
+    is forwarded to every ``run_campaign`` call, so the parity tests can
+    assert that each mode ledgers the same per-layer outcomes — for the
+    ``resumed`` mode both the interrupted and the resuming run record
+    (the resume updates the original row in place).
 
     ``serve=True`` additionally runs the campaign with a live observability
     server on an ephemeral port and captures the final schema-validated
@@ -160,7 +166,7 @@ def run_mode(mode: str, model, format_spec, data, tmp_path, *,
     common = dict(kind="value", location="neuron",
                   injections_per_layer=injections_per_layer, seed=seed,
                   fault_batch=fault_batch, fault_model=fault_model,
-                  protect=protect, layers=layers)
+                  protect=protect, layers=layers, ledger=ledger)
     server = None
     if serve:
         from repro.obs.live import LiveServer

@@ -674,3 +674,129 @@ def test_serve_campaign_streams_sse_and_answers_all_endpoints(
         health = json.loads(
             urllib.request.urlopen(server.url + "/healthz").read())
         assert health["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# journal_progress on fault-model journals (burst/stuck/ECC records,
+# batch-framed lines)
+# ----------------------------------------------------------------------
+class TestJournalProgressFaultModels:
+    """The journal watch surface must fold PR-9 fault-model records.
+
+    Records written under the non-default injectors carry extra keys —
+    ``fault`` (the model spec), ``op`` (stuck-at writes, not xor),
+    ``persist`` (temporal faults) and ``ecc`` (protection verdicts) — and
+    the parallel executor frames whole worker batches as single
+    ``batch`` journal lines.  ``journal_progress`` must reconstruct
+    done/total and the per-layer SDC estimate identically through all of
+    it.
+    """
+
+    RECORDS = [
+        {"layer": "conv", "seq": 0, "site": 3, "bits": [1, 2],
+         "fault": "burst2", "ecc": "corrected", "sdc_rate": 0.0,
+         "mismatch_rate": 0.0, "delta_loss": 0.0, "dur_s": 0.25},
+        {"layer": "conv", "seq": 1, "site": 9, "bits": [4, 5],
+         "fault": "burst2", "ecc": "silent", "sdc_rate": 1.0,
+         "mismatch_rate": 0.5, "delta_loss": 2.0, "dur_s": 0.25},
+        {"layer": "fc", "seq": 0, "site": 1, "bits": [7],
+         "fault": "stuck1", "op": "or", "persist": 2, "ecc": "detected",
+         "sdc_rate": 1.0, "mismatch_rate": 1.0, "delta_loss": 3.0,
+         "dur_s": 0.5},
+    ]
+
+    def _journal(self, tmp_path, framing):
+        from repro.exec.journal import CampaignJournal, campaign_fingerprint
+        images, labels = _make_data()
+        fingerprint = campaign_fingerprint(
+            kind="value", location="neuron", format_name="fp16", seed=SEED,
+            injections_per_layer=2, num_bits=1, layers=["conv", "fc"],
+            images=images, labels=labels, fault="burst2", protect="secded")
+        path = str(tmp_path / f"fault-{framing}.journal.jsonl")
+        journal, completed = CampaignJournal.open(path, fingerprint)
+        assert completed == {}
+        if framing == "batched":
+            journal.append_batch(self.RECORDS)
+        elif framing == "mixed":
+            journal.append_record(self.RECORDS[0])
+            journal.append_batch(self.RECORDS[1:])
+        else:
+            for record in self.RECORDS:
+                journal.append_record(record)
+        journal.close()
+        return path
+
+    @pytest.mark.parametrize("framing", ["per-record", "batched", "mixed"])
+    def test_fault_records_fold_identically(self, tmp_path, framing):
+        doc = journal_progress(self._journal(tmp_path, framing))
+        validate_progress(doc)
+        assert doc["state"] == "journal"
+        assert doc["done"] == 3 and doc["total"] == 4  # 2 layers x 2 planned
+        assert doc["layers"]["conv"]["done"] == 2
+        assert doc["layers"]["conv"]["sdc_rate"] == pytest.approx(0.5)
+        assert doc["layers"]["fc"]["sdc_rate"] == pytest.approx(1.0)
+        lo, hi = doc["layers"]["conv"]["sdc_ci95"]
+        assert (lo, hi) == wilson_interval(1.0, 2)
+        assert doc["injections_per_sec"] == pytest.approx(3 / 1.0)
+
+    def test_batch_framing_equals_per_record(self, tmp_path):
+        per_record = journal_progress(self._journal(tmp_path, "per-record"))
+        batched = journal_progress(self._journal(tmp_path, "batched"))
+        for key in ("done", "total", "layers", "elapsed_s"):
+            assert per_record[key] == batched[key]
+
+    def test_unknown_future_fault_model_skipped_not_misfolded(self,
+                                                              tmp_path):
+        path = self._journal(tmp_path, "per-record")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "injection", "layer": "conv",
+                                 "seq": 3, "fault": "quantum9",
+                                 "sdc_rate": 1.0}) + "\n")
+        doc = journal_progress(path)
+        assert doc["done"] == 3  # the future record didn't count
+        assert doc["layers"]["conv"]["sdc_rate"] == pytest.approx(0.5)
+
+    def test_real_burst_protected_campaign_journal(self, model, tmp_path,
+                                                   fresh_global_registry):
+        """End to end: a burst2+secded campaign's journal reconstructs."""
+        images, labels = _make_data()
+        journal = str(tmp_path / "burst.journal.jsonl")
+        with GoldenEye(model, "fp16") as platform:
+            result = run_campaign(platform, images, labels,
+                                  injections_per_layer=3, seed=SEED,
+                                  journal=journal, fault_model="burst2",
+                                  protect="secded")
+        raw = [json.loads(line)
+               for line in open(journal, encoding="utf-8")]
+        records = [e for e in raw if e.get("type") == "injection"]
+        assert records and all(r.get("fault") == "burst2" for r in records)
+        assert any("ecc" in r for r in records)
+        doc = journal_progress(journal)
+        validate_progress(doc)
+        assert doc["done"] == sum(
+            r.injections for r in result.per_layer.values())
+        for layer, stats in result.per_layer.items():
+            assert doc["layers"][layer]["sdc_rate"] == pytest.approx(
+                stats.sdc_rate)
+
+    @needs_fork
+    def test_parallel_batch_framed_journal(self, model, tmp_path,
+                                           fresh_global_registry):
+        """--workers 2 journals batch-framed lines; the watch still folds."""
+        images, labels = _make_data()
+        journal = str(tmp_path / "parallel.journal.jsonl")
+        with GoldenEye(model, "fp16") as platform:
+            result = run_campaign(platform, images, labels,
+                                  injections_per_layer=3, seed=SEED,
+                                  journal=journal, workers=2,
+                                  fault_model="burst2", protect="secded")
+        raw = [json.loads(line)
+               for line in open(journal, encoding="utf-8")]
+        assert any(e.get("type") == "batch" for e in raw)
+        inside = [r for e in raw if e.get("type") == "batch"
+                  for r in e["records"]]
+        assert any(r.get("fault") == "burst2" for r in inside)
+        doc = journal_progress(journal)
+        validate_progress(doc)
+        assert doc["done"] == sum(
+            r.injections for r in result.per_layer.values())

@@ -12,6 +12,7 @@ from __future__ import annotations
 import csv as csv_mod
 import io
 import json
+import os
 import threading
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.core import (
 )
 from repro.models import simple_cnn
 from repro.obs import (
+    BroadcastTracer,
     BufferingTracer,
     Counter,
     Gauge,
@@ -35,8 +37,10 @@ from repro.obs import (
     NULL_TRACER,
     NullTracer,
     Tracer,
+    atomic_write_text,
     build_report,
     configure_tracing,
+    current_span_id,
     export_csv,
     export_json,
     export_prometheus,
@@ -47,7 +51,9 @@ from repro.obs import (
     merge_metric_delta,
     render_report,
     reset_registry,
+    seed_span_context,
     set_tracer,
+    sink_path,
     validate_report,
     write_bench_json,
     write_json,
@@ -849,3 +855,186 @@ class TestReport:
         from repro.cli import main
         assert main(["report"]) == 2
         assert "--from-metrics" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# atomic artifact writes (temp file + os.replace)
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_write_and_replace(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        target.write_text("old content")
+        assert atomic_write_text(str(target), "new content") == str(target)
+        assert target.read_text() == "new content"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_chunk_iterables_stream(self, tmp_path):
+        target = tmp_path / "streamed.txt"
+        atomic_write_text(str(target), (f"line {i}\n" for i in range(5)))
+        assert target.read_text().splitlines() == [
+            f"line {i}" for i in range(5)]
+
+    def test_failed_write_leaves_old_artifact_and_no_tmp(self, tmp_path):
+        target = tmp_path / "metrics.json"
+        target.write_text('{"complete": "old"}')
+
+        def torn_chunks():
+            yield '{"complete": '
+            raise RuntimeError("export died mid-write")
+
+        with pytest.raises(RuntimeError, match="mid-write"):
+            atomic_write_text(str(target), torn_chunks())
+        # the reader's contract: complete old artifact, never a hybrid
+        assert json.loads(target.read_text()) == {"complete": "old"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_killed_mid_export_leaves_old_artifact(self, tmp_path):
+        """SIGKILL during the export must not tear the target file."""
+        import signal
+        import subprocess
+        import sys as _sys
+        import time as _time
+
+        target = tmp_path / "metrics.json"
+        target.write_text('{"complete": "old"}')
+        script = (
+            "import sys, time\n"
+            "from repro.obs import atomic_write_text\n"
+            "def chunks():\n"
+            "    yield '{\"partial\": '\n"
+            "    print('MIDWRITE', flush=True)\n"
+            "    time.sleep(30)\n"
+            "    yield '\"never\"}'\n"
+            f"atomic_write_text({str(target)!r}, chunks())\n")
+        proc = subprocess.Popen(
+            [_sys.executable, "-c", script], stdout=subprocess.PIPE,
+            text=True, env={**os.environ,
+                            "PYTHONPATH": os.pathsep.join(_sys.path)})
+        try:
+            assert proc.stdout.readline().strip() == "MIDWRITE"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+        deadline = _time.monotonic() + 5
+        while list(tmp_path.glob("*.tmp")) and _time.monotonic() < deadline:
+            _time.sleep(0.05)  # the kernel may still be reaping the child
+        assert json.loads(target.read_text()) == {"complete": "old"}
+
+    def test_write_json_is_atomic(self, tmp_path, registry):
+        target = tmp_path / "m.json"
+        target.write_text("old")
+        registry.counter("c").inc()
+        write_json(str(target), registry)
+        assert json.loads(target.read_text())["metrics"]["c"]
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_cli_metrics_prom_write_is_atomic(self, tmp_path):
+        from repro.cli import main
+        prom = tmp_path / "m.prom"
+        assert main(["ranges", "--format", "fp16",
+                     "--metrics-prom", str(prom)]) == 0
+        assert prom.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# tracer clock hygiene: monotonic durations, wall-clock timestamps
+# ----------------------------------------------------------------------
+class TestTracerClockHygiene:
+    def test_span_records_both_clocks(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("work"):
+            pass
+        tracer.event("point")
+        span, event = [json.loads(l) for l in buf.getvalue().splitlines()]
+        for rec in (span, event):
+            assert "ts" in rec and "ts_mono" in rec
+        assert span["dur_s"] >= 0.0
+
+    def test_wall_clock_step_cannot_produce_negative_duration(
+            self, registry, monkeypatch):
+        """An NTP step (time.time jumping backwards) mid-span must not
+        yield a negative dur_s or a negative span_seconds observation."""
+        import repro.obs.tracing as tracing_mod
+
+        wall = iter([2_000_000.0, 1_000_000.0])  # steps back 11.5 days
+        monkeypatch.setattr(tracing_mod.time, "time",
+                            lambda: next(wall, 1_000_000.0))
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf), registry=registry)
+        with tracer.span("stepped"):
+            pass
+        span = json.loads(buf.getvalue())
+        assert span["dur_s"] >= 0.0
+        hist = registry.get("trace.span_seconds", span="stepped")
+        assert hist.count == 1 and hist.sum >= 0.0
+
+    def test_monotonic_step_clamped_to_zero(self, monkeypatch):
+        """Even a (theoretically impossible) backwards monotonic reading
+        is clamped: dur_s is never negative."""
+        import repro.obs.tracing as tracing_mod
+
+        mono = iter([100.0, 50.0])
+        monkeypatch.setattr(tracing_mod.time, "monotonic",
+                            lambda: next(mono, 50.0))
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("clamped"):
+            pass
+        assert json.loads(buf.getvalue())["dur_s"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# hierarchical span context
+# ----------------------------------------------------------------------
+class TestSpanHierarchy:
+    def test_nested_spans_link_parent_ids(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("leaf")
+        leaf, inner, outer = [json.loads(l)
+                              for l in buf.getvalue().splitlines()]
+        assert outer["name"] == "outer" and "parent_id" not in outer
+        assert inner["parent_id"] == outer["span_id"]
+        assert leaf["parent_id"] == inner["span_id"]
+        assert len({outer["span_id"], inner["span_id"]}) == 2
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer(JsonlSink(io.StringIO()))
+        assert current_span_id() is None
+        with tracer.span("a") as a:
+            assert current_span_id() == a.span_id
+            with tracer.span("b") as b:
+                assert current_span_id() == b.span_id
+            assert current_span_id() == a.span_id
+        assert current_span_id() is None
+
+    def test_seed_span_context_adopts_foreign_root(self):
+        buf = io.StringIO()
+        tracer = Tracer(JsonlSink(buf))
+        seed_span_context("f00dd00d5eedf00d")
+        try:
+            with tracer.span("adopted"):
+                pass
+        finally:
+            seed_span_context(None)
+        span = json.loads(buf.getvalue())
+        assert span["parent_id"] == "f00dd00d5eedf00d"
+        assert current_span_id() is None
+
+    def test_sink_path_unwraps_composition(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(JsonlSink(str(path)))
+        try:
+            assert sink_path(tracer) == str(path)
+            wrapped = BroadcastTracer(tracer, lambda e: None)
+            assert sink_path(wrapped) == str(path)
+        finally:
+            tracer.close()
+        assert sink_path(NULL_TRACER) is None
+        assert sink_path(BufferingTracer()) is None
